@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces Figure 5 and the single-feature study of §4.4: ITS
+ * inference precision when one BFV feature is removed (CF-1..CF-11)
+ * compared to the full BFV, and inference from each individual
+ * feature alone.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/bfv.hh"
+#include "eval/harness.hh"
+#include "eval/tables.hh"
+#include "support/strings.hh"
+#include "synth/firmware_gen.hh"
+
+namespace {
+
+using namespace fits;
+
+/** Re-rank every analyzed sample under one inference config. */
+eval::PrecisionStats
+rerank(const std::vector<eval::InferenceOutcome> &outcomes,
+       const core::InferConfig &config)
+{
+    eval::PrecisionStats stats;
+    for (const auto &outcome : outcomes) {
+        if (!outcome.ok) {
+            stats.addRank(-1);
+            continue;
+        }
+        const auto inference = core::inferIts(outcome.behavior,
+                                              config);
+        stats.addRank(eval::rankOfFirstIts(inference.ranking,
+                                           outcome.truth));
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 5: BFV ablation (CF-k removes feature k) "
+                "===\n\n");
+
+    const auto corpus = synth::generateStandardCorpus();
+
+    // The expensive pass happens once; every variant only re-ranks
+    // the retained behavior representations.
+    std::vector<eval::InferenceOutcome> outcomes;
+    for (const auto &fw : corpus)
+        outcomes.push_back(eval::runInference(fw));
+
+    eval::TablePrinter table(
+        {"Variant", "Removed feature", "Top-1", "Top-2", "Top-3"});
+    {
+        const auto full = rerank(outcomes, core::InferConfig{});
+        table.addRow({"BFV", "-", eval::percent(full.p1()),
+                      eval::percent(full.p2()),
+                      eval::percent(full.p3())});
+        table.addSeparator();
+    }
+    for (int k = 0; k < core::Bfv::kNumFeatures; ++k) {
+        core::InferConfig config;
+        config.dropFeature = k;
+        const auto stats = rerank(outcomes, config);
+        table.addRow({support::format("CF-%d", k + 1),
+                      core::Bfv::featureName(k),
+                      eval::percent(stats.p1()),
+                      eval::percent(stats.p2()),
+                      eval::percent(stats.p3())});
+    }
+    table.print();
+    std::printf("\nPaper's claim: the full BFV dominates every CF-k "
+                "variant, and CF-3 (removing\nthe number of callers) "
+                "collapses top-1/top-2 precision.\n");
+
+    // ---- single-feature inference (§4.4) -----------------------------
+    std::printf("\n=== Single-feature inference ===\n\n");
+    eval::TablePrinter single({"Feature", "Top-1", "Top-2", "Top-3"});
+    for (int k = 0; k < core::Bfv::kNumFeatures; ++k) {
+        core::InferConfig config;
+        config.onlyFeature = k;
+        const auto stats = rerank(outcomes, config);
+        single.addRow({core::Bfv::featureName(k),
+                       eval::percent(stats.p1()),
+                       eval::percent(stats.p2()),
+                       eval::percent(stats.p3())});
+    }
+    single.print();
+    std::printf("\nPaper's claim: no single feature suffices; only "
+                "\"number of callers\" shows a\nweak signal (21%% "
+                "top-3), and boolean features alone are "
+                "meaningless.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table 4 of the FITS paper: detailed ITS-inference results
+ * for representative firmware samples — the analyzed binary, its
+ * function count, the verified ITS address, and its rank.
+ */
+
+#include <cstdio>
+
+#include <map>
+
+#include "eval/harness.hh"
+#include "eval/tables.hh"
+#include "support/strings.hh"
+#include "synth/firmware_gen.hh"
+
+int
+main()
+{
+    using namespace fits;
+
+    std::printf("=== Table 4: partial ITS inference results ===\n\n");
+
+    const auto corpus = synth::generateStandardCorpus();
+
+    eval::TablePrinter table({"Vendor", "Firmware", "Binary",
+                              "#Functions", "ITS addr.", "Ranking"});
+
+    // Representative picks per vendor: first few successful samples.
+    std::map<std::string, int> shown;
+    for (const auto &fw : corpus) {
+        const std::string &vendor = fw.spec.profile.vendor;
+        if (shown[vendor] >= 3)
+            continue;
+        const auto outcome = eval::runInference(fw);
+        if (!outcome.ok || outcome.firstItsRank < 0)
+            continue;
+        ++shown[vendor];
+
+        const ir::Addr itsAddr =
+            outcome.ranking[static_cast<std::size_t>(
+                                outcome.firstItsRank) -
+                            1]
+                .entry;
+        table.addRow({vendor, fw.spec.name, outcome.binaryName,
+                      std::to_string(outcome.numFunctions),
+                      support::hex(itsAddr),
+                      std::to_string(outcome.firstItsRank)});
+    }
+    table.print();
+
+    std::printf("\nThe ITS address is the verified intermediate taint "
+                "source (ground truth);\nRanking is its position in "
+                "FITS's output, as in the paper's Table 4.\n");
+    return 0;
+}

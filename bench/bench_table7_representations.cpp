@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Table 7 of the FITS paper: ITS-inference precision with
+ * the BFV versus the two code-structure representations (NERO-style
+ * Augmented-CFG and Gemini-style Attributed-CFG).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/harness.hh"
+#include "eval/tables.hh"
+#include "synth/firmware_gen.hh"
+
+int
+main()
+{
+    using namespace fits;
+
+    std::printf("=== Table 7: inference results based on different "
+                "representations ===\n\n");
+
+    const auto corpus = synth::generateStandardCorpus();
+    std::vector<eval::InferenceOutcome> outcomes;
+    for (const auto &fw : corpus)
+        outcomes.push_back(eval::runInference(fw));
+
+    eval::TablePrinter table(
+        {"", "Augmented-CFG", "Attributed-CFG", "BFV"});
+
+    std::vector<eval::PrecisionStats> stats(3);
+    const core::Representation reprs[3] = {
+        core::Representation::AugmentedCfg,
+        core::Representation::AttributedCfg,
+        core::Representation::Bfv,
+    };
+    for (int r = 0; r < 3; ++r) {
+        core::InferConfig config;
+        config.representation = reprs[r];
+        for (const auto &outcome : outcomes) {
+            if (!outcome.ok) {
+                stats[r].addRank(-1);
+                continue;
+            }
+            const auto inference =
+                core::inferIts(outcome.behavior, config);
+            stats[r].addRank(eval::rankOfFirstIts(inference.ranking,
+                                                  outcome.truth));
+        }
+    }
+
+    table.addRow({"Top-1", eval::percent(stats[0].p1()),
+                  eval::percent(stats[1].p1()),
+                  eval::percent(stats[2].p1())});
+    table.addRow({"Top-2", eval::percent(stats[0].p2()),
+                  eval::percent(stats[1].p2()),
+                  eval::percent(stats[2].p2())});
+    table.addRow({"Top-3", eval::percent(stats[0].p3()),
+                  eval::percent(stats[1].p3()),
+                  eval::percent(stats[2].p3())});
+    table.print();
+
+    std::printf("\nPaper's Table 7: Augmented-CFG 0/5/10%%, "
+                "Attributed-CFG 0/0/1%%, BFV 47/63/89%%.\n"
+                "Code-structure representations capture code-level "
+                "similarity, not behaviour:\nthey lack caller counts, "
+                "parameter flow, and call-site string features, so "
+                "they\ncannot separate an input getter from any other "
+                "loop-over-memory function.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reverse-engineering scenario: dig into one stripped network binary —
+ * sections, imports, anchor functions, the behavior feature vectors
+ * the ranking is built from, the clustering statistics of Algorithm 2,
+ * and the lifted IR of the top-ranked function. This is the example to
+ * read to understand *why* FITS ranks a function as an ITS.
+ */
+
+#include <cstdio>
+
+#include "analysis/program_analysis.hh"
+#include "core/anchors.hh"
+#include "core/behavior.hh"
+#include "core/infer.hh"
+#include "firmware/fwimg.hh"
+#include "firmware/select.hh"
+#include "ir/printer.hh"
+#include "support/strings.hh"
+#include "synth/firmware_gen.hh"
+
+namespace {
+
+using namespace fits;
+
+void
+printBfv(const char *tag, const core::Bfv &bfv)
+{
+    std::printf("  %-24s bb=%3.0f loop=%d callers=%4.0f params=%.0f "
+                "anchors=%2.0f libs=%2.0f pcl=%d pcb=%d pta=%d "
+                "str=%d nstr=%3.0f\n",
+                tag, bfv.numBlocks, bfv.hasLoop ? 1 : 0,
+                bfv.numCallers, bfv.numParams, bfv.numAnchorCalls,
+                bfv.numLibCalls, bfv.paramsControlLoop ? 1 : 0,
+                bfv.paramsControlBranch ? 1 : 0,
+                bfv.paramsToAnchor ? 1 : 0,
+                bfv.argsHaveStrings ? 1 : 0, bfv.numDistinctStrings);
+}
+
+} // namespace
+
+int
+main()
+{
+    synth::SampleSpec spec;
+    spec.profile = synth::netgearProfile();
+    spec.profile.minCustomFns = 300;
+    spec.profile.maxCustomFns = 400;
+    spec.product = "R7800";
+    spec.version = "V1.0.2.32";
+    spec.name = spec.product + "-" + spec.version;
+    spec.seed = 0x7800;
+    const auto firmware = synth::generateFirmware(spec);
+
+    auto unpacked = fw::unpackFirmware(firmware.bytes);
+    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
+    const bin::BinaryImage &image = target.value().main;
+
+    // --- what the loader sees ---------------------------------------
+    std::printf("=== %s (stripped: %s, arch %s) ===\n\n",
+                image.name.c_str(), image.stripped ? "yes" : "no",
+                bin::archName(image.arch));
+    std::printf("sections:\n");
+    for (const auto &sec : image.sections) {
+        std::printf("  %-10s %s  %6zu bytes  [%c%c%c]\n",
+                    sec.name.c_str(),
+                    support::hex(sec.addr).c_str(), sec.bytes.size(),
+                    (sec.flags & bin::kSecRead) ? 'r' : '-',
+                    (sec.flags & bin::kSecWrite) ? 'w' : '-',
+                    (sec.flags & bin::kSecExec) ? 'x' : '-');
+    }
+    std::printf("functions: %zu (all nameless), imports: %zu\n",
+                image.program.size(), image.imports.size());
+    std::printf("dynamic imports keep their names — the anchor set:\n ");
+    for (const auto &imp : image.imports) {
+        if (core::isAnchorName(imp.name))
+            std::printf(" %s", imp.name.c_str());
+    }
+    std::printf("\n\n");
+
+    // --- behavior representations -----------------------------------
+    const analysis::LinkedProgram linked(image,
+                                         target.value().libraries);
+    const auto pa = analysis::ProgramAnalysis::analyze(linked);
+    const core::BehaviorAnalyzer analyzer;
+    const auto behavior = analyzer.analyze(pa);
+    const auto inference = core::inferIts(behavior);
+
+    std::printf("custom functions: %zu; anchor implementations from "
+                "libc.so: %zu\n",
+                behavior.customFns.size(), behavior.anchorFns.size());
+    std::printf("DBSCAN classes: %zu; candidates above the average "
+                "class complexity (%.3f): %zu\n\n",
+                inference.numClusters,
+                inference.avgClassComplexity,
+                inference.numCandidates);
+
+    std::printf("anchor BFVs (the Eq. 2 scoring matrix):\n");
+    for (auto id : behavior.anchorFns) {
+        printBfv(behavior.records[id].name.c_str(),
+                 behavior.records[id].bfv);
+    }
+
+    std::printf("\ntop-5 ranked custom functions:\n");
+    for (std::size_t i = 0;
+         i < 5 && i < inference.ranking.size(); ++i) {
+        const auto &rf = inference.ranking[i];
+        const std::string tag = support::format(
+            "#%zu %s s=%.4f", i + 1,
+            support::hex(rf.entry).c_str(), rf.score);
+        printBfv(tag.c_str(), behavior.records[rf.id].bfv);
+    }
+
+    // --- the winner, in IR -------------------------------------------
+    const auto &top = inference.ranking.front();
+    const ir::Function *fn = image.program.functionAt(top.entry);
+    std::printf("\nlifted IR of the top candidate (%s):\n\n%s",
+                support::hex(top.entry).c_str(),
+                ir::printFunction(*fn).c_str());
+
+    std::printf("\nThis is the websGetVar shape of the paper's Figure "
+                "1b: validate the key,\nscan the request buffer with "
+                "a parameter-bounded loop, strncmp each position,\n"
+                "malloc + memcpy the matched field, return it — an "
+                "intermediate taint source.\n");
+    return 0;
+}

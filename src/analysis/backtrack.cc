@@ -1,0 +1,224 @@
+#include "backtrack.hh"
+
+#include <algorithm>
+
+#include "ir/types.hh"
+
+namespace fits::analysis {
+
+namespace {
+
+using ir::Operand;
+using ir::Stmt;
+using ir::StmtKind;
+
+constexpr std::size_t kMaxResults = 8;
+
+bool
+isPrintable(const std::string &text)
+{
+    if (text.empty() || text.size() > 256)
+        return false;
+    return std::all_of(text.begin(), text.end(), [](char c) {
+        return c >= 0x20 && c < 0x7f;
+    });
+}
+
+void
+addResult(std::vector<std::uint64_t> &results, std::uint64_t v)
+{
+    if (results.size() >= kMaxResults)
+        return;
+    if (std::find(results.begin(), results.end(), v) == results.end())
+        results.push_back(v);
+}
+
+} // namespace
+
+ArgBacktracker::ArgBacktracker(const bin::BinaryImage &image,
+                               const ir::Function &fn, const Cfg &cfg,
+                               const TmpConstMap &consts,
+                               std::size_t maxSteps)
+    : image_(image), fn_(fn), cfg_(cfg), consts_(consts),
+      maxSteps_(maxSteps)
+{
+}
+
+void
+ArgBacktracker::walk(std::size_t blockIdx, std::size_t beforeStmt,
+                     Track track, std::vector<std::uint64_t> &results,
+                     std::vector<std::uint8_t> &visited,
+                     std::size_t &steps) const
+{
+    if (results.size() >= kMaxResults)
+        return;
+
+    const auto &stmts = fn_.blocks[blockIdx].stmts;
+    std::size_t s = beforeStmt;
+    while (s > 0) {
+        --s;
+        if (++steps > maxSteps_)
+            return;
+        const Stmt &stmt = stmts[s];
+
+        if (track.isReg) {
+            if (stmt.kind == StmtKind::Put && stmt.reg == track.reg) {
+                if (stmt.a.isImm()) {
+                    addResult(results,
+                              stmt.a.imm +
+                                  static_cast<std::uint64_t>(
+                                      track.offset));
+                    return;
+                }
+                if (auto v = consts_.valueOf(stmt.a)) {
+                    addResult(results,
+                              *v + static_cast<std::uint64_t>(
+                                       track.offset));
+                    return;
+                }
+                track.isReg = false;
+                track.tmp = stmt.a.tmp;
+                continue;
+            }
+            if (stmt.kind == StmtKind::Call &&
+                (track.reg < ir::kNumArgRegs ||
+                 track.reg == ir::kRetReg)) {
+                // The callee clobbered the tracked register; the value
+                // is a runtime return value, not a constant.
+                return;
+            }
+        } else {
+            if (!stmt.definesTmp() || stmt.dst != track.tmp)
+                continue;
+            switch (stmt.kind) {
+              case StmtKind::Const:
+                addResult(results,
+                          stmt.a.imm +
+                              static_cast<std::uint64_t>(track.offset));
+                return;
+              case StmtKind::Get:
+                track.isReg = true;
+                track.reg = stmt.reg;
+                continue;
+              case StmtKind::Binop: {
+                auto lhs = consts_.valueOf(stmt.a);
+                auto rhs = consts_.valueOf(stmt.b);
+                if (lhs && rhs) {
+                    addResult(results,
+                              ir::evalBinOp(stmt.op, *lhs, *rhs) +
+                                  static_cast<std::uint64_t>(
+                                      track.offset));
+                    return;
+                }
+                // Additive indexed addressing: keep tracking the
+                // non-constant side and accumulate the offset.
+                if (stmt.op == ir::BinOp::Add && rhs && stmt.a.isTmp()) {
+                    track.offset += static_cast<std::int64_t>(*rhs);
+                    track.tmp = stmt.a.tmp;
+                    continue;
+                }
+                if (stmt.op == ir::BinOp::Add && lhs && stmt.b.isTmp()) {
+                    track.offset += static_cast<std::int64_t>(*lhs);
+                    track.tmp = stmt.b.tmp;
+                    continue;
+                }
+                if (stmt.op == ir::BinOp::Sub && rhs && stmt.a.isTmp()) {
+                    track.offset -= static_cast<std::int64_t>(*rhs);
+                    track.tmp = stmt.a.tmp;
+                    continue;
+                }
+                return; // non-additive on symbolic input: give up
+              }
+              case StmtKind::Load: {
+                auto addr = consts_.valueOf(stmt.a);
+                if (!addr)
+                    return;
+                if (image_.isRodata(*addr)) {
+                    if (auto word = image_.readWord(*addr)) {
+                        addResult(results,
+                                  *word + static_cast<std::uint64_t>(
+                                              track.offset));
+                    }
+                    return;
+                }
+                // Writable data: stop at the slot address (PT); the
+                // MT indirection happens in classifyString().
+                addResult(results,
+                          *addr + static_cast<std::uint64_t>(
+                                      track.offset));
+                return;
+              }
+              default:
+                return;
+            }
+        }
+    }
+
+    // Reached the block start while still tracking: continue into every
+    // predecessor not yet visited with this tracking state.
+    for (std::size_t p : cfg_.preds(blockIdx)) {
+        const std::size_t key =
+            p * 2 + (track.isReg ? 0 : 1);
+        // visited is indexed [block * 2 + isTmp]; the tracked id is
+        // folded in coarsely: revisiting a block with any state is
+        // cut off after a few entries to bound the walk.
+        if (visited[key] >= 2)
+            continue;
+        ++visited[key];
+        walk(p, fn_.blocks[p].stmts.size(), track, results, visited,
+             steps);
+    }
+}
+
+std::vector<std::uint64_t>
+ArgBacktracker::resolveArg(std::size_t blockIdx, std::size_t stmtIdx,
+                           int argIdx) const
+{
+    std::vector<std::uint64_t> results;
+    if (blockIdx >= fn_.blocks.size() || argIdx < 0 ||
+        argIdx >= ir::kNumArgRegs) {
+        return results;
+    }
+    Track track;
+    track.isReg = true;
+    track.reg = static_cast<ir::RegId>(argIdx);
+    std::vector<std::uint8_t> visited(fn_.blocks.size() * 2, 0);
+    std::size_t steps = 0;
+    walk(blockIdx, stmtIdx, track, results, visited, steps);
+    return results;
+}
+
+std::optional<StringArg>
+ArgBacktracker::classifyString(std::uint64_t value) const
+{
+    if (image_.isRodata(value)) {
+        auto text = image_.readCString(value);
+        if (text && isPrintable(*text)) {
+            StringArg arg;
+            arg.addr = value;
+            arg.text = *text;
+            return arg;
+        }
+        return std::nullopt;
+    }
+
+    if (image_.isData(value)) {
+        // PT points into the data section: dereference once (MT) and
+        // read the hint string behind it, GOT-style.
+        auto mt = image_.readWord(value);
+        if (!mt || !image_.isMapped(*mt))
+            return std::nullopt;
+        auto text = image_.readCString(*mt);
+        if (text && isPrintable(*text)) {
+            StringArg arg;
+            arg.addr = value;
+            arg.text = *text;
+            arg.viaDataSection = true;
+            return arg;
+        }
+    }
+
+    return std::nullopt;
+}
+
+} // namespace fits::analysis

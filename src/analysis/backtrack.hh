@@ -1,0 +1,89 @@
+#ifndef FITS_ANALYSIS_BACKTRACK_HH_
+#define FITS_ANALYSIS_BACKTRACK_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/constmap.hh"
+#include "binary/image.hh"
+
+namespace fits::analysis {
+
+/** A call-site argument classified as a string (feature 10/11). */
+struct StringArg
+{
+    /** The constant pointer recovered by backtracking (the paper's PT). */
+    std::uint64_t addr = 0;
+    /** The string content (read directly from .rodata, or through the
+     * data-section pointer table — the paper's MT indirection). */
+    std::string text;
+    /** True when resolution went through the MT indirection. */
+    bool viaDataSection = false;
+};
+
+/**
+ * Backward argument resolution at call sites, implementing the Table-2
+ * rules of the paper: registers are tracked backward through PUT,
+ * temporaries through GET/Binop/Load until the value is a constant.
+ *
+ * Binops with one constant operand accumulate an additive offset and
+ * keep tracking the other side (indexed addressing). Loads from
+ * constant .rodata addresses fold (read-only bytes are stable); loads
+ * from the writable data section stop the walk and yield the slot
+ * address, so that classifyString() can apply the paper's PT -> MT
+ * global-offset-table-style indirection. Tracking aborts at calls that
+ * clobber the tracked register.
+ *
+ * Multiple predecessors are all explored (bounded), so a site can
+ * resolve to several constants; all are returned.
+ */
+class ArgBacktracker
+{
+  public:
+    ArgBacktracker(const bin::BinaryImage &image, const ir::Function &fn,
+                   const Cfg &cfg, const TmpConstMap &consts,
+                   std::size_t maxSteps = 512);
+
+    /**
+     * Resolve the possible constant values of argument register argIdx
+     * at the call statement (blockIdx, stmtIdx).
+     */
+    std::vector<std::uint64_t> resolveArg(std::size_t blockIdx,
+                                          std::size_t stmtIdx,
+                                          int argIdx) const;
+
+    /**
+     * Classify a resolved constant per the paper: a pointer into
+     * .rodata is a string; a pointer into the data section is
+     * dereferenced once (MT) and, if that is a mapped address, the hint
+     * string behind it is read. Non-printable or unmapped content is
+     * rejected.
+     */
+    std::optional<StringArg> classifyString(std::uint64_t value) const;
+
+  private:
+    struct Track
+    {
+        bool isReg = true;
+        ir::RegId reg = 0;
+        ir::TmpId tmp = 0;
+        std::int64_t offset = 0;
+    };
+
+    void walk(std::size_t blockIdx, std::size_t beforeStmt, Track track,
+              std::vector<std::uint64_t> &results,
+              std::vector<std::uint8_t> &visited,
+              std::size_t &steps) const;
+
+    const bin::BinaryImage &image_;
+    const ir::Function &fn_;
+    const Cfg &cfg_;
+    const TmpConstMap &consts_;
+    std::size_t maxSteps_;
+};
+
+} // namespace fits::analysis
+
+#endif // FITS_ANALYSIS_BACKTRACK_HH_

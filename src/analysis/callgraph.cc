@@ -1,0 +1,127 @@
+#include "callgraph.hh"
+
+#include <unordered_set>
+
+namespace fits::analysis {
+
+const std::vector<std::size_t> CallGraph::kEmpty_;
+
+CallGraph
+CallGraph::build(const LinkedProgram &linked,
+                 const std::unordered_map<FnId, const UcseResult *>
+                     *ucseByFn)
+{
+    CallGraph cg;
+
+    for (FnId caller = 0; caller < linked.fnCount(); ++caller) {
+        const FnRef &ref = linked.fn(caller);
+        const UcseResult *ucse = nullptr;
+        if (ucseByFn != nullptr) {
+            auto it = ucseByFn->find(caller);
+            if (it != ucseByFn->end())
+                ucse = it->second;
+        }
+
+        for (std::size_t bi = 0; bi < ref.fn->blocks.size(); ++bi) {
+            const ir::BasicBlock &block = ref.fn->blocks[bi];
+            for (std::size_t si = 0; si < block.stmts.size(); ++si) {
+                const ir::Stmt &stmt = block.stmts[si];
+                if (stmt.kind != ir::StmtKind::Call)
+                    continue;
+
+                const Addr stmtAddr = block.stmtAddr(si);
+
+                auto emit = [&](Addr targetAddr, bool indirect) {
+                    CallSite site;
+                    site.caller = caller;
+                    site.blockIdx = bi;
+                    site.stmtIdx = si;
+                    site.stmtAddr = stmtAddr;
+                    site.indirect = indirect;
+                    site.target = linked.resolve(ref.image, targetAddr);
+                    const std::size_t idx = cg.sites_.size();
+                    cg.byCaller_[caller].push_back(idx);
+                    if (site.resolvesToFunction())
+                        cg.byCallee_[site.target.fn].push_back(idx);
+                    cg.sites_.push_back(std::move(site));
+                };
+
+                if (!stmt.indirect) {
+                    emit(stmt.target, false);
+                } else if (ucse != nullptr) {
+                    auto it = ucse->resolvedCalls.find(stmtAddr);
+                    if (it != ucse->resolvedCalls.end()) {
+                        for (Addr t : it->second)
+                            emit(t, true);
+                    } else {
+                        // Unresolved indirect call: keep the site with
+                        // an Unknown target so engines can account for
+                        // interrupted data flow.
+                        CallSite site;
+                        site.caller = caller;
+                        site.blockIdx = bi;
+                        site.stmtIdx = si;
+                        site.stmtAddr = stmtAddr;
+                        site.indirect = true;
+                        cg.byCaller_[caller].push_back(
+                            cg.sites_.size());
+                        cg.sites_.push_back(std::move(site));
+                    }
+                } else {
+                    CallSite site;
+                    site.caller = caller;
+                    site.blockIdx = bi;
+                    site.stmtIdx = si;
+                    site.stmtAddr = stmtAddr;
+                    site.indirect = true;
+                    cg.byCaller_[caller].push_back(cg.sites_.size());
+                    cg.sites_.push_back(std::move(site));
+                }
+            }
+        }
+    }
+
+    return cg;
+}
+
+const std::vector<std::size_t> &
+CallGraph::sitesOfCaller(FnId caller) const
+{
+    auto it = byCaller_.find(caller);
+    return it == byCaller_.end() ? kEmpty_ : it->second;
+}
+
+const std::vector<std::size_t> &
+CallGraph::sitesOfCallee(FnId callee) const
+{
+    auto it = byCallee_.find(callee);
+    return it == byCallee_.end() ? kEmpty_ : it->second;
+}
+
+std::size_t
+CallGraph::callerSiteCount(FnId callee) const
+{
+    return sitesOfCallee(callee).size();
+}
+
+std::size_t
+CallGraph::distinctCallerCount(FnId callee) const
+{
+    std::unordered_set<FnId> callers;
+    for (std::size_t idx : sitesOfCallee(callee))
+        callers.insert(sites_[idx].caller);
+    return callers.size();
+}
+
+std::size_t
+CallGraph::libraryCallCount(FnId caller) const
+{
+    std::size_t n = 0;
+    for (std::size_t idx : sitesOfCaller(caller)) {
+        if (sites_[idx].isLibraryCall())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fits::analysis

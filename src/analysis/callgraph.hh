@@ -1,0 +1,89 @@
+#ifndef FITS_ANALYSIS_CALLGRAPH_HH_
+#define FITS_ANALYSIS_CALLGRAPH_HH_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/linked.hh"
+#include "analysis/ucse.hh"
+
+namespace fits::analysis {
+
+/**
+ * One call instruction, with its resolution. stmtAddr is the address of
+ * the Call statement inside the caller's image.
+ */
+struct CallSite
+{
+    FnId caller = 0;
+    std::size_t blockIdx = 0;
+    std::size_t stmtIdx = 0;
+    Addr stmtAddr = 0;
+    bool indirect = false;
+
+    LinkedProgram::CallTarget target;
+
+    bool
+    resolvesToFunction() const
+    {
+        return target.kind == LinkedProgram::CallTarget::Kind::Function;
+    }
+
+    bool
+    isLibraryCall() const
+    {
+        // Calls through the PLT (named) or to external imports are
+        // library calls from the caller's perspective.
+        return target.kind ==
+                   LinkedProgram::CallTarget::Kind::ExternalImport ||
+               (resolvesToFunction() && !target.library.empty());
+    }
+};
+
+/**
+ * Whole-program call graph over a LinkedProgram. Direct calls are
+ * resolved through the import table; indirect calls use the UCSE
+ * explorer's resolved targets (function-pointer tables).
+ */
+class CallGraph
+{
+  public:
+    /**
+     * Build the call graph. ucseByFn optionally supplies, per FnId, the
+     * explorer result whose resolvedCalls disambiguate indirect calls.
+     */
+    static CallGraph build(
+        const LinkedProgram &linked,
+        const std::unordered_map<FnId, const UcseResult *> *ucseByFn =
+            nullptr);
+
+    const std::vector<CallSite> &sites() const { return sites_; }
+
+    /** Indices into sites() of calls made by `caller`. */
+    const std::vector<std::size_t> &sitesOfCaller(FnId caller) const;
+
+    /** Indices into sites() of calls targeting function `callee`. */
+    const std::vector<std::size_t> &sitesOfCallee(FnId callee) const;
+
+    /** Number of call sites targeting `callee` ("number of callers" in
+     * the BFV; the paper counts call sites, which is what separates an
+     * ITS from an error printer called from everywhere). */
+    std::size_t callerSiteCount(FnId callee) const;
+
+    /** Number of distinct calling functions. */
+    std::size_t distinctCallerCount(FnId callee) const;
+
+    /** Call sites in `caller` that target a named library symbol. */
+    std::size_t libraryCallCount(FnId caller) const;
+
+  private:
+    std::vector<CallSite> sites_;
+    std::unordered_map<FnId, std::vector<std::size_t>> byCaller_;
+    std::unordered_map<FnId, std::vector<std::size_t>> byCallee_;
+    static const std::vector<std::size_t> kEmpty_;
+};
+
+} // namespace fits::analysis
+
+#endif // FITS_ANALYSIS_CALLGRAPH_HH_

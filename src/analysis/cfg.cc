@@ -1,0 +1,106 @@
+#include "cfg.hh"
+
+#include <algorithm>
+
+namespace fits::analysis {
+
+void
+Cfg::addEdge(std::size_t from, std::size_t to)
+{
+    auto &out = succs_[from];
+    if (std::find(out.begin(), out.end(), to) != out.end())
+        return;
+    out.push_back(to);
+    preds_[to].push_back(from);
+}
+
+Cfg
+Cfg::build(const ir::Function &fn,
+           const std::unordered_map<Addr, std::vector<Addr>>
+               *resolvedTargets)
+{
+    Cfg cfg;
+    const std::size_t n = fn.blocks.size();
+    cfg.succs_.resize(n);
+    cfg.preds_.resize(n);
+
+    std::unordered_map<Addr, std::size_t> blockAt;
+    for (std::size_t i = 0; i < n; ++i)
+        blockAt[fn.blocks[i].addr] = i;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const ir::BasicBlock &block = fn.blocks[i];
+
+        // Conditional side exits may appear anywhere in the block.
+        for (const auto &stmt : block.stmts) {
+            if (stmt.kind != ir::StmtKind::Branch)
+                continue;
+            auto it = blockAt.find(stmt.target);
+            if (it != blockAt.end())
+                cfg.addEdge(i, it->second);
+        }
+
+        // Final control transfer.
+        const ir::Stmt *term = block.terminator();
+        if (term == nullptr) {
+            // Implicit fallthrough (also the not-taken path of a
+            // trailing Branch).
+            if (i + 1 < n)
+                cfg.addEdge(i, i + 1);
+            continue;
+        }
+        if (term->kind == ir::StmtKind::Jump) {
+            if (!term->indirect) {
+                auto it = blockAt.find(term->target);
+                if (it != blockAt.end())
+                    cfg.addEdge(i, it->second);
+            } else if (resolvedTargets != nullptr) {
+                const Addr stmtAddr =
+                    block.stmtAddr(block.stmts.size() - 1);
+                auto rt = resolvedTargets->find(stmtAddr);
+                if (rt != resolvedTargets->end()) {
+                    for (Addr target : rt->second) {
+                        auto it = blockAt.find(target);
+                        if (it != blockAt.end())
+                            cfg.addEdge(i, it->second);
+                    }
+                }
+            }
+        }
+        // Ret: no successors.
+    }
+
+    return cfg;
+}
+
+std::vector<bool>
+Cfg::reachable() const
+{
+    std::vector<bool> seen(numBlocks(), false);
+    if (numBlocks() == 0)
+        return seen;
+    std::vector<std::size_t> stack = {entry()};
+    seen[entry()] = true;
+    while (!stack.empty()) {
+        const std::size_t b = stack.back();
+        stack.pop_back();
+        for (std::size_t s : succs_[b]) {
+            if (!seen[s]) {
+                seen[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+std::size_t
+Cfg::numEdges() const
+{
+    std::size_t n = 0;
+    for (const auto &out : succs_)
+        n += out.size();
+    return n;
+}
+
+} // namespace fits::analysis

@@ -1,0 +1,72 @@
+#ifndef FITS_ANALYSIS_CFG_HH_
+#define FITS_ANALYSIS_CFG_HH_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace fits::analysis {
+
+using ir::Addr;
+
+/**
+ * Control-flow graph of one function. Nodes are indices into
+ * Function::blocks; block 0 is the entry.
+ *
+ * Edges:
+ *  - Branch (a conditional side exit that may appear anywhere in the
+ *    block): an edge to the taken target; the not-taken path stays
+ *    inside the block, so it contributes no edge of its own;
+ *  - Jump (direct): the target block;
+ *  - Jump (indirect): targets supplied by the UCSE explorer, if any;
+ *  - block ends without Jump/Ret: fall-through to the next layout
+ *    block (this covers a trailing Branch's not-taken path);
+ *  - Ret: no successors.
+ *
+ * Calls are not block terminators in FIR (as in VEX, control returns to
+ * the following statement), so they contribute no CFG edges.
+ */
+class Cfg
+{
+  public:
+    /**
+     * Build the CFG. resolvedTargets optionally maps the address of an
+     * indirect Jump statement to the block addresses the UCSE explorer
+     * proved reachable from it.
+     */
+    static Cfg build(const ir::Function &fn,
+                     const std::unordered_map<Addr, std::vector<Addr>>
+                         *resolvedTargets = nullptr);
+
+    std::size_t numBlocks() const { return succs_.size(); }
+    std::size_t entry() const { return 0; }
+
+    const std::vector<std::size_t> &
+    succs(std::size_t block) const
+    {
+        return succs_[block];
+    }
+
+    const std::vector<std::size_t> &
+    preds(std::size_t block) const
+    {
+        return preds_[block];
+    }
+
+    /** Blocks reachable from the entry (DFS over successor edges). */
+    std::vector<bool> reachable() const;
+
+    /** Number of edges in the graph. */
+    std::size_t numEdges() const;
+
+  private:
+    void addEdge(std::size_t from, std::size_t to);
+
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<std::vector<std::size_t>> preds_;
+};
+
+} // namespace fits::analysis
+
+#endif // FITS_ANALYSIS_CFG_HH_

@@ -1,0 +1,95 @@
+#include "constmap.hh"
+
+namespace fits::analysis {
+
+TmpConstMap
+TmpConstMap::compute(const ir::Function &fn, const bin::BinaryImage *image)
+{
+    TmpConstMap map;
+
+    // Phase 1: temporaries with more than one definition are never
+    // treated as constant (flow-insensitivity would conflate paths).
+    std::unordered_map<ir::TmpId, int> defCount;
+    for (const auto &block : fn.blocks) {
+        for (const auto &stmt : block.stmts) {
+            if (stmt.definesTmp())
+                ++defCount[stmt.dst];
+        }
+    }
+    for (const auto &[tmp, count] : defCount) {
+        if (count > 1)
+            map.conflicted_[tmp] = true;
+    }
+
+    auto eligible = [&map](ir::TmpId t) {
+        auto it = map.conflicted_.find(t);
+        return it == map.conflicted_.end() || !it->second;
+    };
+
+    // Phase 2: fold single-definition temporaries to a fixpoint. A
+    // Binop/Load may only fold after its inputs did, so iterate until
+    // no new values appear.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &block : fn.blocks) {
+            for (const auto &stmt : block.stmts) {
+                if (!stmt.definesTmp() || !eligible(stmt.dst) ||
+                    map.values_.count(stmt.dst) != 0) {
+                    continue;
+                }
+                switch (stmt.kind) {
+                  case ir::StmtKind::Const:
+                    map.values_[stmt.dst] = stmt.a.imm;
+                    changed = true;
+                    break;
+                  case ir::StmtKind::Binop: {
+                    auto lhs = map.valueOf(stmt.a);
+                    auto rhs = map.valueOf(stmt.b);
+                    if (lhs && rhs) {
+                        map.values_[stmt.dst] =
+                            ir::evalBinOp(stmt.op, *lhs, *rhs);
+                        changed = true;
+                    }
+                    break;
+                  }
+                  case ir::StmtKind::Load: {
+                    // Only read-only memory is stable enough to fold.
+                    auto addr = map.valueOf(stmt.a);
+                    if (addr && image != nullptr &&
+                        image->isRodata(*addr)) {
+                        if (auto word = image->readWord(*addr)) {
+                            map.values_[stmt.dst] = *word;
+                            changed = true;
+                        }
+                    }
+                    break;
+                  }
+                  default:
+                    break; // Get never folds
+                }
+            }
+        }
+    }
+
+    return map;
+}
+
+std::optional<std::uint64_t>
+TmpConstMap::valueOf(ir::TmpId t) const
+{
+    auto it = values_.find(t);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::uint64_t>
+TmpConstMap::valueOf(const ir::Operand &op) const
+{
+    if (op.isImm())
+        return op.imm;
+    return valueOf(op.tmp);
+}
+
+} // namespace fits::analysis

@@ -1,0 +1,71 @@
+#include "linked.hh"
+
+namespace fits::analysis {
+
+LinkedProgram::LinkedProgram(const bin::BinaryImage &main,
+                             const std::vector<bin::BinaryImage> &libraries)
+    : main_(&main)
+{
+    images_.push_back(&main);
+    for (const auto &lib : libraries)
+        images_.push_back(&lib);
+
+    for (const bin::BinaryImage *image : images_) {
+        for (const auto &fn : image->program.functions()) {
+            const FnId id = static_cast<FnId>(fns_.size());
+            fns_.push_back({image, &fn});
+            byEntry_[image][fn.entry] = id;
+            // Library functions export their names; the first exporter
+            // wins (standard dynamic-linker binding order).
+            if (image != main_ && !fn.name.empty() &&
+                exports_.find(fn.name) == exports_.end()) {
+                exports_[fn.name] = id;
+            }
+        }
+    }
+}
+
+std::optional<FnId>
+LinkedProgram::fnIdOf(const bin::BinaryImage *image, ir::Addr entry) const
+{
+    auto imgIt = byEntry_.find(image);
+    if (imgIt == byEntry_.end())
+        return std::nullopt;
+    auto it = imgIt->second.find(entry);
+    if (it == imgIt->second.end())
+        return std::nullopt;
+    return it->second;
+}
+
+LinkedProgram::CallTarget
+LinkedProgram::resolve(const bin::BinaryImage *image,
+                       ir::Addr target) const
+{
+    CallTarget result;
+
+    // PLT stub: bind by name against library exports.
+    if (const bin::Import *imp = image->importAt(target)) {
+        result.name = imp->name;
+        result.library = imp->library;
+        auto it = exports_.find(imp->name);
+        if (it != exports_.end()) {
+            result.kind = CallTarget::Kind::Function;
+            result.fn = it->second;
+        } else {
+            result.kind = CallTarget::Kind::ExternalImport;
+        }
+        return result;
+    }
+
+    // Local function entry.
+    if (auto id = fnIdOf(image, target)) {
+        result.kind = CallTarget::Kind::Function;
+        result.fn = *id;
+        result.name = fns_[*id].fn->name;
+        return result;
+    }
+
+    return result; // Unknown
+}
+
+} // namespace fits::analysis

@@ -1,0 +1,151 @@
+#include "loops.hh"
+
+#include <algorithm>
+
+namespace fits::analysis {
+
+bool
+LoopInfo::dominates(std::size_t a, std::size_t b) const
+{
+    if (b >= idom.size() || idom[b] == npos)
+        return false;
+    std::size_t cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (idom[cur] == cur) // reached the entry
+            return false;
+        cur = idom[cur];
+        if (cur == npos)
+            return false;
+    }
+}
+
+namespace {
+
+/** Reverse-postorder numbering of reachable blocks. */
+void
+postorder(const Cfg &cfg, std::size_t block, std::vector<bool> &seen,
+          std::vector<std::size_t> &order)
+{
+    seen[block] = true;
+    for (std::size_t s : cfg.succs(block)) {
+        if (!seen[s])
+            postorder(cfg, s, seen, order);
+    }
+    order.push_back(block);
+}
+
+} // namespace
+
+LoopInfo
+analyzeLoops(const Cfg &cfg, const ir::Function &fn)
+{
+    const std::size_t n = cfg.numBlocks();
+    LoopInfo info;
+    info.idom.assign(n, LoopInfo::npos);
+    info.inLoop.assign(n, false);
+    info.controlsLoop.assign(n, false);
+    if (n == 0)
+        return info;
+
+    // Postorder, then RPO index per block.
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    postorder(cfg, cfg.entry(), seen, order);
+    std::vector<std::size_t> rpoIndex(n, LoopInfo::npos);
+    {
+        std::size_t idx = 0;
+        for (auto it = order.rbegin(); it != order.rend(); ++it)
+            rpoIndex[*it] = idx++;
+    }
+
+    // Cooper/Harvey/Kennedy "engineering a simple, fast dominator
+    // algorithm" fixpoint.
+    auto intersect = [&](std::size_t a, std::size_t b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = info.idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = info.idom[b];
+        }
+        return a;
+    };
+
+    info.idom[cfg.entry()] = cfg.entry();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            const std::size_t b = *it;
+            if (b == cfg.entry())
+                continue;
+            std::size_t newIdom = LoopInfo::npos;
+            for (std::size_t p : cfg.preds(b)) {
+                if (!seen[p] || info.idom[p] == LoopInfo::npos)
+                    continue;
+                newIdom = newIdom == LoopInfo::npos
+                              ? p
+                              : intersect(p, newIdom);
+            }
+            if (newIdom != LoopInfo::npos && info.idom[b] != newIdom) {
+                info.idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+
+    // Back edges: a -> h where h dominates a.
+    for (std::size_t a = 0; a < n; ++a) {
+        if (!seen[a])
+            continue;
+        for (std::size_t h : cfg.succs(a)) {
+            if (info.dominates(h, a))
+                info.backEdges.emplace_back(a, h);
+        }
+    }
+
+    // Natural loop bodies: header plus everything reaching the latch
+    // without passing through the header.
+    for (const auto &[latch, header] : info.backEdges) {
+        info.inLoop[header] = true;
+        std::vector<std::size_t> stack;
+        if (!info.inLoop[latch] || latch == header) {
+            // (still walk: latch may already be in another loop)
+        }
+        stack.push_back(latch);
+        std::vector<bool> visited(n, false);
+        visited[header] = true;
+        while (!stack.empty()) {
+            const std::size_t b = stack.back();
+            stack.pop_back();
+            if (visited[b])
+                continue;
+            visited[b] = true;
+            info.inLoop[b] = true;
+            for (std::size_t p : cfg.preds(b))
+                stack.push_back(p);
+        }
+    }
+
+    // Loop-controlling branches: headers and latches containing a
+    // conditional side exit.
+    auto containsBranch = [&](std::size_t b) {
+        for (const auto &stmt : fn.blocks[b].stmts) {
+            if (stmt.kind == ir::StmtKind::Branch)
+                return true;
+        }
+        return false;
+    };
+    for (const auto &[latch, header] : info.backEdges) {
+        if (containsBranch(header))
+            info.controlsLoop[header] = true;
+        if (containsBranch(latch))
+            info.controlsLoop[latch] = true;
+    }
+
+    return info;
+}
+
+} // namespace fits::analysis

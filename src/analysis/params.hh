@@ -1,0 +1,33 @@
+#ifndef FITS_ANALYSIS_PARAMS_HH_
+#define FITS_ANALYSIS_PARAMS_HH_
+
+#include <cstdint>
+
+#include "analysis/cfg.hh"
+
+namespace fits::analysis {
+
+/** Result of parameter inference for one function. */
+struct ParamInfo
+{
+    /** Bit i set iff arg register r_i is read before being written on
+     * some path from the entry. */
+    std::uint8_t usedMask = 0;
+
+    /** Inferred parameter count: highest used arg register + 1 (the
+     * ABI assigns argument registers contiguously). */
+    int count = 0;
+};
+
+/**
+ * Infer how many register arguments a function takes, the standard
+ * read-before-write analysis over the argument registers: a GET of an
+ * argument register at a point where no path from the entry has yet
+ * PUT it must be reading a caller-provided value. Stripped binaries
+ * have no signatures, so this is what real tools (angr, IDA) do too.
+ */
+ParamInfo inferParams(const Cfg &cfg, const ir::Function &fn);
+
+} // namespace fits::analysis
+
+#endif // FITS_ANALYSIS_PARAMS_HH_

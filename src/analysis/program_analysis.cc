@@ -1,0 +1,25 @@
+#include "program_analysis.hh"
+
+namespace fits::analysis {
+
+ProgramAnalysis
+ProgramAnalysis::analyze(const LinkedProgram &linked,
+                         const UcseConfig &config)
+{
+    ProgramAnalysis pa;
+    pa.linked = &linked;
+    pa.fns.reserve(linked.fnCount());
+    for (FnId id = 0; id < linked.fnCount(); ++id) {
+        const auto &ref = linked.fn(id);
+        pa.fns.push_back(FunctionAnalysis::analyze(*ref.image, *ref.fn,
+                                                   config));
+    }
+
+    std::unordered_map<FnId, const UcseResult *> ucseByFn;
+    for (FnId id = 0; id < linked.fnCount(); ++id)
+        ucseByFn[id] = &pa.fns[id].ucse;
+    pa.callGraph = CallGraph::build(linked, &ucseByFn);
+    return pa;
+}
+
+} // namespace fits::analysis

@@ -1,0 +1,37 @@
+#ifndef FITS_ANALYSIS_PROGRAM_ANALYSIS_HH_
+#define FITS_ANALYSIS_PROGRAM_ANALYSIS_HH_
+
+#include <vector>
+
+#include "analysis/callgraph.hh"
+#include "analysis/function_analysis.hh"
+#include "analysis/linked.hh"
+
+namespace fits::analysis {
+
+/**
+ * Whole-program analysis bundle: one FunctionAnalysis per function of a
+ * linked program plus the call graph built from their UCSE results.
+ * Computed once per binary and shared by the feature extractor and both
+ * taint engines. Borrows the LinkedProgram (and transitively the
+ * images), which must outlive it.
+ */
+struct ProgramAnalysis
+{
+    const LinkedProgram *linked = nullptr;
+    std::vector<FunctionAnalysis> fns;
+    CallGraph callGraph;
+
+    static ProgramAnalysis analyze(const LinkedProgram &linked,
+                                   const UcseConfig &config = {});
+
+    const FunctionAnalysis &
+    fn(FnId id) const
+    {
+        return fns[id];
+    }
+};
+
+} // namespace fits::analysis
+
+#endif // FITS_ANALYSIS_PROGRAM_ANALYSIS_HH_

@@ -1,0 +1,148 @@
+#include "bytebuf.hh"
+
+#include <cstring>
+
+namespace fits::bin {
+
+void
+ByteWriter::u8(std::uint8_t v)
+{
+    out_.push_back(v);
+}
+
+void
+ByteWriter::u16(std::uint16_t v)
+{
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void
+ByteWriter::raw(const std::vector<std::uint8_t> &bytes)
+{
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void
+ByteWriter::patchU32(std::size_t offset, std::uint32_t v)
+{
+    if (offset + 4 > out_.size())
+        return;
+    out_[offset + 0] = static_cast<std::uint8_t>(v);
+    out_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+    out_[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+bool
+ByteReader::take(std::size_t n, const std::uint8_t *&p)
+{
+    if (!ok_ || size_ - offset_ < n) {
+        ok_ = false;
+        return false;
+    }
+    p = data_ + offset_;
+    offset_ += n;
+    return true;
+}
+
+bool
+ByteReader::u8(std::uint8_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(1, p))
+        return false;
+    v = p[0];
+    return true;
+}
+
+bool
+ByteReader::u16(std::uint16_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(2, p))
+        return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    return true;
+}
+
+bool
+ByteReader::u32(std::uint32_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(4, p))
+        return false;
+    v = static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    return true;
+}
+
+bool
+ByteReader::u64(std::uint64_t &v)
+{
+    std::uint32_t lo, hi;
+    if (!u32(lo) || !u32(hi))
+        return false;
+    v = static_cast<std::uint64_t>(lo) |
+        (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+}
+
+bool
+ByteReader::str(std::string &s)
+{
+    std::uint32_t n;
+    if (!u32(n))
+        return false;
+    const std::uint8_t *p;
+    if (!take(n, p))
+        return false;
+    s.assign(reinterpret_cast<const char *>(p), n);
+    return true;
+}
+
+bool
+ByteReader::raw(std::vector<std::uint8_t> &bytes, std::size_t n)
+{
+    const std::uint8_t *p;
+    if (!take(n, p))
+        return false;
+    bytes.assign(p, p + n);
+    return true;
+}
+
+bool
+ByteReader::seek(std::size_t offset)
+{
+    if (offset > size_) {
+        ok_ = false;
+        return false;
+    }
+    offset_ = offset;
+    return true;
+}
+
+} // namespace fits::bin

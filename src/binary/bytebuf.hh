@@ -1,0 +1,78 @@
+#ifndef FITS_BINARY_BYTEBUF_HH_
+#define FITS_BINARY_BYTEBUF_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fits::bin {
+
+/** Little-endian byte-stream writer used by the FBIN/FWIMG encoders. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Length-prefixed (u32) byte string. */
+    void str(const std::string &s);
+    /** Raw bytes without a length prefix. */
+    void raw(const std::vector<std::uint8_t> &bytes);
+
+    const std::vector<std::uint8_t> &bytes() const { return out_; }
+    std::vector<std::uint8_t> take() { return std::move(out_); }
+    std::size_t size() const { return out_.size(); }
+
+    /** Overwrite 4 bytes at an earlier offset (for patching lengths). */
+    void patchU32(std::size_t offset, std::uint32_t v);
+
+  private:
+    std::vector<std::uint8_t> out_;
+};
+
+/**
+ * Bounds-checked little-endian reader. All accessors return false (and
+ * leave the output untouched) past end-of-buffer, and set a sticky error
+ * flag, so decoders can batch reads and check ok() once.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {}
+
+    bool u8(std::uint8_t &v);
+    bool u16(std::uint16_t &v);
+    bool u32(std::uint32_t &v);
+    bool u64(std::uint64_t &v);
+    bool str(std::string &s);
+    /** Read exactly n raw bytes. */
+    bool raw(std::vector<std::uint8_t> &bytes, std::size_t n);
+
+    /** True if no read has gone out of bounds. */
+    bool ok() const { return ok_; }
+    std::size_t offset() const { return offset_; }
+    std::size_t remaining() const { return size_ - offset_; }
+    bool atEnd() const { return offset_ == size_; }
+
+    /** Move the cursor; fails (sticky) if out of range. */
+    bool seek(std::size_t offset);
+
+  private:
+    bool take(std::size_t n, const std::uint8_t *&p);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace fits::bin
+
+#endif // FITS_BINARY_BYTEBUF_HH_

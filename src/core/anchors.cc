@@ -1,0 +1,39 @@
+#include "anchors.hh"
+
+namespace fits::core {
+
+const std::vector<std::string> &
+anchorFunctionNames()
+{
+    static const std::vector<std::string> names = {
+        "strcpy",  "strncpy", "strcat",  "strncat", "strcmp",
+        "strncmp", "strstr",  "strchr",  "strrchr", "strlen",
+        "strtok",  "strdup",  "memcpy",  "memmove", "memcmp",
+        "memchr",  "memset",
+    };
+    return names;
+}
+
+bool
+isAnchorName(const std::string &name)
+{
+    static const std::unordered_set<std::string> set(
+        anchorFunctionNames().begin(), anchorFunctionNames().end());
+    return set.find(name) != set.end();
+}
+
+std::vector<analysis::FnId>
+findAnchorFunctions(const analysis::LinkedProgram &linked)
+{
+    std::vector<analysis::FnId> anchors;
+    for (analysis::FnId id = 0; id < linked.fnCount(); ++id) {
+        if (linked.isMainFn(id))
+            continue;
+        const auto &ref = linked.fn(id);
+        if (!ref.fn->name.empty() && isAnchorName(ref.fn->name))
+            anchors.push_back(id);
+    }
+    return anchors;
+}
+
+} // namespace fits::core

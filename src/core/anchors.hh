@@ -1,0 +1,34 @@
+#ifndef FITS_CORE_ANCHORS_HH_
+#define FITS_CORE_ANCHORS_HH_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/linked.hh"
+
+namespace fits::core {
+
+/**
+ * Anchor functions: standard library functions with memory-operation
+ * behaviour (Figure 2 of the paper). FITS identifies them by name in
+ * the dynamic symbol table — names of dynamically linked library
+ * functions survive stripping — following BootStomp's matching
+ * approach.
+ */
+const std::vector<std::string> &anchorFunctionNames();
+
+/** True if the symbol name denotes an anchor function. */
+bool isAnchorName(const std::string &name);
+
+/**
+ * Find the anchor implementations available in a linked program: the
+ * library functions whose exported name is an anchor name. Their BFVs
+ * form the scoring matrix of Eq. (2).
+ */
+std::vector<analysis::FnId> findAnchorFunctions(
+    const analysis::LinkedProgram &linked);
+
+} // namespace fits::core
+
+#endif // FITS_CORE_ANCHORS_HH_

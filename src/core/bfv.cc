@@ -1,0 +1,66 @@
+#include "bfv.hh"
+
+namespace fits::core {
+
+const char *
+Bfv::featureName(int index)
+{
+    switch (index) {
+      case 0:  return "num-basic-blocks";
+      case 1:  return "has-loops";
+      case 2:  return "num-callers";
+      case 3:  return "num-params";
+      case 4:  return "num-anchor-calls";
+      case 5:  return "num-lib-calls";
+      case 6:  return "params-control-loops";
+      case 7:  return "params-control-branches";
+      case 8:  return "params-to-anchors";
+      case 9:  return "args-have-strings";
+      case 10: return "num-distinct-strings";
+    }
+    return "?";
+}
+
+ml::Vec
+Bfv::toVector() const
+{
+    return {
+        numBlocks,
+        hasLoop ? 1.0 : 0.0,
+        numCallers,
+        numParams,
+        numAnchorCalls,
+        numLibCalls,
+        paramsControlLoop ? 1.0 : 0.0,
+        paramsControlBranch ? 1.0 : 0.0,
+        paramsToAnchor ? 1.0 : 0.0,
+        argsHaveStrings ? 1.0 : 0.0,
+        numDistinctStrings,
+    };
+}
+
+ml::Vec
+Bfv::toVectorDropping(int dropIndex) const
+{
+    const ml::Vec full = toVector();
+    if (dropIndex < 0 || dropIndex >= kNumFeatures)
+        return full;
+    ml::Vec out;
+    out.reserve(full.size() - 1);
+    for (int i = 0; i < kNumFeatures; ++i) {
+        if (i != dropIndex)
+            out.push_back(full[i]);
+    }
+    return out;
+}
+
+ml::Vec
+Bfv::toVectorKeepingOnly(int keepIndex) const
+{
+    const ml::Vec full = toVector();
+    if (keepIndex < 0 || keepIndex >= kNumFeatures)
+        return full;
+    return {full[keepIndex]};
+}
+
+} // namespace fits::core

@@ -1,0 +1,100 @@
+#include "pipeline.hh"
+
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace fits::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+FitsPipeline::FitsPipeline(PipelineConfig config)
+    : config_(std::move(config))
+{
+}
+
+PipelineResult
+FitsPipeline::run(const std::vector<std::uint8_t> &firmware) const
+{
+    PipelineResult result;
+
+    // Stage 1a: unpack.
+    auto t0 = Clock::now();
+    auto unpacked = fw::unpackFirmware(firmware);
+    result.timings.unpackMs = msSince(t0);
+    if (!unpacked) {
+        result.failureStage = PipelineResult::FailureStage::Unpack;
+        result.error = unpacked.errorMessage();
+        return result;
+    }
+    result.imageInfo = unpacked.value().info;
+
+    // Stage 1b: select the network binary and resolve libraries.
+    t0 = Clock::now();
+    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
+    result.timings.selectMs = msSince(t0);
+    if (!target) {
+        result.failureStage = PipelineResult::FailureStage::Select;
+        result.error = target.errorMessage();
+        return result;
+    }
+
+    PipelineResult rest = runOnTarget(target.take());
+    rest.imageInfo = result.imageInfo;
+    rest.timings.unpackMs = result.timings.unpackMs;
+    rest.timings.selectMs = result.timings.selectMs;
+    return rest;
+}
+
+PipelineResult
+FitsPipeline::runOnTarget(fw::AnalysisTarget target) const
+{
+    PipelineResult result;
+    result.binaryName = target.main.name;
+    result.numFunctions = target.main.program.size();
+    result.binaryBytes = target.main.byteSize();
+
+    // Stage 2: behavior representation (Algorithm 1). The linked view
+    // borrows from `target`, so it must stay alive until we are done.
+    auto t0 = Clock::now();
+    const analysis::LinkedProgram linked(target.main, target.libraries);
+    const BehaviorAnalyzer analyzer(config_.behavior);
+    result.behavior = analyzer.analyze(linked);
+    result.timings.behaviorMs = msSince(t0);
+
+    // Stage 3: inference (Algorithm 2).
+    t0 = Clock::now();
+    result.inference = inferIts(result.behavior, config_.infer);
+    result.timings.inferMs = msSince(t0);
+
+    if (!result.inference.ok()) {
+        result.failureStage = PipelineResult::FailureStage::Inference;
+        result.error = result.inference.error;
+        result.target = std::move(target);
+        return result;
+    }
+
+    support::logInfo(
+        "pipeline",
+        result.binaryName + ": ranked " +
+            std::to_string(result.inference.ranking.size()) +
+            " ITS candidates");
+
+    result.ok = true;
+    result.target = std::move(target);
+    return result;
+}
+
+} // namespace fits::core

@@ -1,0 +1,95 @@
+#ifndef FITS_CORE_PIPELINE_HH_
+#define FITS_CORE_PIPELINE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/behavior.hh"
+#include "core/infer.hh"
+#include "firmware/fwimg.hh"
+#include "firmware/select.hh"
+
+namespace fits::core {
+
+/** Configuration of the whole FITS pipeline. */
+struct PipelineConfig
+{
+    BehaviorAnalyzer::Config behavior;
+    InferConfig infer;
+};
+
+/** Wall-clock time of each pipeline stage, in milliseconds. */
+struct StageTimings
+{
+    double unpackMs = 0.0;
+    double selectMs = 0.0;
+    double behaviorMs = 0.0;
+    double inferMs = 0.0;
+
+    double
+    totalMs() const
+    {
+        return unpackMs + selectMs + behaviorMs + inferMs;
+    }
+};
+
+/**
+ * End-to-end result of running FITS on one firmware image. All fields
+ * are plain data (no pointers into other fields), so results can be
+ * collected in bulk by the evaluation harness.
+ */
+struct PipelineResult
+{
+    enum class FailureStage : std::uint8_t {
+        None,
+        Unpack,    ///< image did not unpack (magic / crypto / corrupt)
+        Select,    ///< no network binary found
+        Inference, ///< no anchors or no custom functions
+    };
+
+    bool ok = false;
+    FailureStage failureStage = FailureStage::None;
+    std::string error;
+
+    fw::ImageInfo imageInfo;
+    std::string binaryName;
+    std::size_t numFunctions = 0;
+    std::size_t binaryBytes = 0;
+
+    /** The selected binary and its libraries, kept for taint analysis. */
+    fw::AnalysisTarget target;
+
+    /** Behavior representations of all functions (kept so evaluation
+     * variants can re-rank without re-analyzing). */
+    BehaviorRepr behavior;
+
+    InferenceResult inference;
+    StageTimings timings;
+};
+
+/**
+ * The FITS pipeline of Figure 3: unpack the firmware, select the
+ * network binary and its libraries, compute behavior representations,
+ * and rank custom functions as ITS candidates.
+ */
+class FitsPipeline
+{
+  public:
+    explicit FitsPipeline(PipelineConfig config = {});
+
+    /** Full run from raw firmware image bytes. */
+    PipelineResult run(const std::vector<std::uint8_t> &firmware) const;
+
+    /** Run from an already-selected analysis target (skips stage 1). */
+    PipelineResult runOnTarget(fw::AnalysisTarget target) const;
+
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    PipelineConfig config_;
+};
+
+} // namespace fits::core
+
+#endif // FITS_CORE_PIPELINE_HH_

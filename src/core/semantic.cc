@@ -1,0 +1,41 @@
+#include "semantic.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/strings.hh"
+
+namespace fits::core {
+
+double
+semanticNameScore(const std::string &name)
+{
+    if (name.empty())
+        return 0.5; // stripped: no information
+
+    static const std::vector<std::pair<const char *, double>>
+        keywords = {
+            // Getter-of-user-input vocabulary.
+            {"getvar", 0.30},  {"get", 0.15},    {"fetch", 0.15},
+            {"find", 0.10},    {"query", 0.10},  {"var", 0.10},
+            {"param", 0.10},   {"arg", 0.05},    {"value", 0.05},
+            {"field", 0.10},   {"input", 0.10},  {"req", 0.05},
+            {"web", 0.05},     {"http", 0.05},
+            // Vocabulary a vendor knows is *not* a user-input getter.
+            {"err", -0.20},    {"log", -0.20},   {"print", -0.20},
+            {"dbg", -0.15},    {"debug", -0.15}, {"nvram", -0.20},
+            {"cfg", -0.15},    {"config", -0.15},{"sys", -0.10},
+            {"init", -0.10},   {"free", -0.15},  {"close", -0.10},
+        };
+
+    const std::string lower = support::toLower(name);
+    double score = 0.5;
+    for (const auto &[keyword, weight] : keywords) {
+        if (lower.find(keyword) != std::string::npos)
+            score += weight;
+    }
+    return std::clamp(score, 0.0, 1.0);
+}
+
+} // namespace fits::core

@@ -1,0 +1,23 @@
+#ifndef FITS_CORE_SEMANTIC_HH_
+#define FITS_CORE_SEMANTIC_HH_
+
+#include <string>
+
+namespace fits::core {
+
+/**
+ * Symbol-name prior for ITS inference (the paper's Discussion section:
+ * "vendors who have access to the source code can leverage more
+ * semantic information, such as function names, to improve the
+ * performance of FITS").
+ *
+ * Third-party analysts see stripped binaries and cannot use this; a
+ * vendor running FITS on its own unstripped build can. The score is a
+ * keyword prior in [0, 1]: 0.5 is neutral, getter-of-user-input
+ * vocabulary pushes up, logging/config vocabulary pushes down.
+ */
+double semanticNameScore(const std::string &name);
+
+} // namespace fits::core
+
+#endif // FITS_CORE_SEMANTIC_HH_

@@ -1,0 +1,93 @@
+#include "triage.hh"
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/anchors.hh"
+#include "support/strings.hh"
+
+namespace fits::core {
+
+namespace {
+
+bool
+isFileOp(const std::string &name)
+{
+    static const std::unordered_set<std::string> ops = {
+        "fopen", "fwrite", "fread", "fprintf", "unlink", "rename",
+        "open", "write", "read", "remove",
+    };
+    return ops.count(name) != 0;
+}
+
+bool
+isExecOp(const std::string &name)
+{
+    static const std::unordered_set<std::string> ops = {
+        "system", "execve", "execl", "popen", "fork", "vfork",
+    };
+    return ops.count(name) != 0;
+}
+
+bool
+isNetOp(const std::string &name)
+{
+    static const std::unordered_set<std::string> ops = {
+        "socket", "connect", "send", "sendto", "recv", "recvfrom",
+        "bind", "listen", "accept",
+    };
+    return ops.count(name) != 0;
+}
+
+} // namespace
+
+bool
+OperationProfile::sensitive() const
+{
+    return fileOps > 0 || execOps > 0 || netOps > 0 || dispatch > 0;
+}
+
+std::string
+OperationProfile::summary() const
+{
+    std::vector<std::string> parts;
+    if (execOps > 0)
+        parts.push_back(support::format("exec:%d", execOps));
+    if (fileOps > 0)
+        parts.push_back(support::format("file:%d", fileOps));
+    if (netOps > 0)
+        parts.push_back(support::format("net:%d", netOps));
+    if (dispatch > 0)
+        parts.push_back(support::format("dispatch:%d", dispatch));
+    if (memOps > 0)
+        parts.push_back(support::format("mem:%d", memOps));
+    return parts.empty() ? "none" : support::join(parts, "+");
+}
+
+OperationProfile
+profileFunction(const analysis::ProgramAnalysis &pa,
+                analysis::FnId id)
+{
+    OperationProfile profile;
+    for (std::size_t siteIdx : pa.callGraph.sitesOfCaller(id)) {
+        const auto &site = pa.callGraph.sites()[siteIdx];
+        if (site.indirect && !site.resolvesToFunction()) {
+            ++profile.dispatch;
+            continue;
+        }
+        const std::string &name = site.target.name;
+        if (name.empty())
+            continue;
+        if (isExecOp(name))
+            ++profile.execOps;
+        if (isFileOp(name))
+            ++profile.fileOps;
+        if (isNetOp(name))
+            ++profile.netOps;
+        if (isAnchorName(name))
+            ++profile.memOps;
+    }
+    return profile;
+}
+
+} // namespace fits::core

@@ -1,0 +1,39 @@
+#ifndef FITS_CORE_TRIAGE_HH_
+#define FITS_CORE_TRIAGE_HH_
+
+#include <string>
+
+#include "analysis/program_analysis.hh"
+
+namespace fits::core {
+
+/**
+ * Sensitive-operation triage of custom functions (the paper's
+ * Application discussion: high-scoring functions that are not ITSs
+ * "tend to have sensitive operations, such as file writing and
+ * operation selection", so analyzing them first beats starting from
+ * main — and the same profile flags critical operations in malware).
+ */
+struct OperationProfile
+{
+    int fileOps = 0;    ///< fopen/fwrite/unlink/... call sites
+    int execOps = 0;    ///< system/execve/popen call sites
+    int netOps = 0;     ///< socket/send/connect call sites
+    int memOps = 0;     ///< anchor (memory-operation) call sites
+    int dispatch = 0;   ///< indirect calls (operation selection)
+
+    /** True if the function touches an effectful capability (file,
+     * exec, or network) or selects operations indirectly. */
+    bool sensitive() const;
+
+    /** "exec+net" style summary of the capabilities present. */
+    std::string summary() const;
+};
+
+/** Profile one function's call sites. */
+OperationProfile profileFunction(const analysis::ProgramAnalysis &pa,
+                                 analysis::FnId id);
+
+} // namespace fits::core
+
+#endif // FITS_CORE_TRIAGE_HH_

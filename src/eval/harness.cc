@@ -1,0 +1,203 @@
+#include "harness.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hh"
+#include "taint/karonte.hh"
+#include "taint/sta.hh"
+
+namespace fits::eval {
+
+InferenceOutcome
+runInference(const synth::GeneratedFirmware &fw,
+             const core::PipelineConfig &config)
+{
+    InferenceOutcome outcome;
+    outcome.spec = fw.spec;
+    outcome.truth = fw.truth;
+
+    const core::FitsPipeline pipeline(config);
+    core::PipelineResult result = pipeline.run(fw.bytes);
+
+    outcome.failureStage = result.failureStage;
+    outcome.error = result.error;
+    outcome.binaryName = result.binaryName;
+    outcome.numFunctions = result.numFunctions;
+    outcome.binaryBytes = result.binaryBytes;
+    outcome.analysisMs = result.timings.totalMs();
+    if (!result.ok)
+        return outcome;
+
+    outcome.ok = true;
+    outcome.ranking = result.inference.ranking;
+    outcome.behavior = std::move(result.behavior);
+    outcome.firstItsRank = rankOfFirstIts(outcome.ranking, fw.truth);
+    return outcome;
+}
+
+int
+rankOfFirstIts(const std::vector<core::RankedFunction> &ranking,
+               const synth::GroundTruth &truth)
+{
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+        if (std::find(truth.itsFunctions.begin(),
+                      truth.itsFunctions.end(),
+                      ranking[i].entry) != truth.itsFunctions.end()) {
+            return static_cast<int>(i) + 1;
+        }
+    }
+    return -1;
+}
+
+void
+PrecisionStats::addRank(int rank)
+{
+    ++total;
+    if (rank == 1)
+        ++top1;
+    if (rank >= 1 && rank <= 2)
+        ++top2;
+    if (rank >= 1 && rank <= 3)
+        ++top3;
+}
+
+namespace {
+
+double
+ratio(int hits, int total)
+{
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+} // namespace
+
+double
+PrecisionStats::p1() const
+{
+    return ratio(top1, total);
+}
+
+double
+PrecisionStats::p2() const
+{
+    return ratio(top2, total);
+}
+
+double
+PrecisionStats::p3() const
+{
+    return ratio(top3, total);
+}
+
+EngineStats &
+EngineStats::operator+=(const EngineStats &other)
+{
+    alerts += other.alerts;
+    bugs += other.bugs;
+    ms += other.ms;
+    return *this;
+}
+
+EngineStats
+scoreReport(const std::vector<taint::Alert> &alerts,
+            const synth::GroundTruth &truth, double ms,
+            std::vector<ir::Addr> *bugSites)
+{
+    EngineStats stats;
+    stats.ms = ms;
+    stats.alerts = alerts.size();
+    std::set<ir::Addr> bugs;
+    for (const auto &alert : alerts) {
+        const synth::SinkSite *site = truth.siteAt(alert.sinkSite);
+        if (site != nullptr && site->isBug())
+            bugs.insert(alert.sinkSite);
+    }
+    stats.bugs = bugs.size();
+    if (bugSites != nullptr)
+        bugSites->assign(bugs.begin(), bugs.end());
+    return stats;
+}
+
+TaintOutcome
+runTaint(const synth::GeneratedFirmware &fw)
+{
+    TaintOutcome outcome;
+
+    // Stage 1 (shared): unpack and select.
+    auto unpacked = fw::unpackFirmware(fw.bytes);
+    if (!unpacked) {
+        outcome.error = unpacked.errorMessage();
+        return outcome;
+    }
+    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
+    if (!target) {
+        outcome.error = target.errorMessage();
+        return outcome;
+    }
+
+    // One whole-program analysis shared by inference and all engines.
+    const analysis::LinkedProgram linked(target.value().main,
+                                         target.value().libraries);
+    const analysis::ProgramAnalysis pa =
+        analysis::ProgramAnalysis::analyze(linked);
+
+    // Infer and "verify" ITSs: the top-3 candidates that ground truth
+    // confirms (the manual-verification step of §4.1).
+    const core::BehaviorAnalyzer analyzer;
+    const core::BehaviorRepr behavior = analyzer.analyze(pa);
+    const core::InferenceResult inference = core::inferIts(behavior);
+
+    std::vector<taint::TaintSource> itsSources;
+    const std::size_t considered =
+        std::min<std::size_t>(3, inference.ranking.size());
+    for (std::size_t i = 0; i < considered; ++i) {
+        const ir::Addr entry = inference.ranking[i].entry;
+        if (std::find(fw.truth.itsFunctions.begin(),
+                      fw.truth.itsFunctions.end(),
+                      entry) != fw.truth.itsFunctions.end()) {
+            itsSources.push_back(taint::TaintSource::its(
+                entry, support::hex(entry)));
+        }
+    }
+
+    const auto cts = taint::classicalTaintSources();
+    auto ctsPlusIts = cts;
+    ctsPlusIts.insert(ctsPlusIts.end(), itsSources.begin(),
+                      itsSources.end());
+
+    const taint::KaronteEngine karonte;
+    const taint::StaEngine sta;
+
+    {
+        const auto report = karonte.run(pa, cts);
+        outcome.karonte = scoreReport(report.alerts, fw.truth,
+                                      report.analysisMs,
+                                      &outcome.karonteBugs);
+    }
+    {
+        const auto report = karonte.run(pa, ctsPlusIts);
+        outcome.karonteIts = scoreReport(report.filteredAlerts(),
+                                         fw.truth, report.analysisMs,
+                                         &outcome.karonteItsBugs);
+    }
+    {
+        const auto report = sta.run(pa, cts);
+        outcome.sta = scoreReport(report.alerts, fw.truth,
+                                  report.analysisMs,
+                                  &outcome.staBugs);
+    }
+    {
+        const auto report = sta.run(pa, ctsPlusIts);
+        outcome.staIts = scoreReport(report.filteredAlerts(),
+                                     fw.truth, report.analysisMs,
+                                     &outcome.staItsBugs);
+    }
+
+    outcome.ok = true;
+    return outcome;
+}
+
+} // namespace fits::eval

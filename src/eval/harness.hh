@@ -1,0 +1,114 @@
+#ifndef FITS_EVAL_HARNESS_HH_
+#define FITS_EVAL_HARNESS_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "synth/firmware_gen.hh"
+#include "taint/common.hh"
+
+namespace fits::eval {
+
+/**
+ * Result of running the FITS inference pipeline on one corpus sample,
+ * with everything the experiment tables need: the ranking, the rank of
+ * the first true ITS (the paper's top-n criterion), per-stage timing,
+ * and the retained behavior representation so ablation experiments can
+ * re-rank without re-analyzing the binary.
+ */
+struct InferenceOutcome
+{
+    synth::SampleSpec spec;
+    bool ok = false;
+    std::string error;
+    core::PipelineResult::FailureStage failureStage =
+        core::PipelineResult::FailureStage::None;
+
+    std::vector<core::RankedFunction> ranking;
+    /** 1-based rank of the first verified ITS; -1 if absent. */
+    int firstItsRank = -1;
+
+    std::string binaryName;
+    std::size_t numFunctions = 0;
+    std::size_t binaryBytes = 0;
+    double analysisMs = 0.0;
+
+    core::BehaviorRepr behavior;
+    synth::GroundTruth truth;
+};
+
+/** Run the full pipeline on one generated sample. */
+InferenceOutcome runInference(const synth::GeneratedFirmware &fw,
+                              const core::PipelineConfig &config = {});
+
+/** 1-based rank of the first true ITS in a ranking (-1 if none). */
+int rankOfFirstIts(const std::vector<core::RankedFunction> &ranking,
+                   const synth::GroundTruth &truth);
+
+/** Top-n success counters ("at least one true ITS in the top n"). */
+struct PrecisionStats
+{
+    int top1 = 0;
+    int top2 = 0;
+    int top3 = 0;
+    int total = 0;
+
+    void addRank(int rank); ///< rank is 1-based; <= 0 means miss
+    double p1() const;
+    double p2() const;
+    double p3() const;
+};
+
+/** Aggregate outcome of one taint-engine run against ground truth. */
+struct EngineStats
+{
+    std::size_t alerts = 0;
+    std::size_t bugs = 0; ///< distinct true-positive sink sites
+    double ms = 0.0;
+
+    double
+    falsePositiveRate() const
+    {
+        return alerts == 0
+                   ? 0.0
+                   : static_cast<double>(alerts - bugs) /
+                         static_cast<double>(alerts);
+    }
+
+    EngineStats &operator+=(const EngineStats &other);
+};
+
+/** The four engine configurations of Table 5 on one sample. */
+struct TaintOutcome
+{
+    bool ok = false;
+    std::string error;
+    EngineStats karonte;
+    EngineStats karonteIts;
+    EngineStats sta;
+    EngineStats staIts;
+    /** Bug-site sets found, for cross-engine set relations. */
+    std::vector<ir::Addr> karonteBugs;
+    std::vector<ir::Addr> karonteItsBugs;
+    std::vector<ir::Addr> staBugs;
+    std::vector<ir::Addr> staItsBugs;
+};
+
+/**
+ * Run all four Table 5 configurations on one sample: build one shared
+ * whole-program analysis, infer ITSs, verify the top-3 against ground
+ * truth (the paper's manual-verification step), and run each engine
+ * with CTS or CTS+ITS sources. ITS-sourced runs apply the §4.3
+ * system-data string filter.
+ */
+TaintOutcome runTaint(const synth::GeneratedFirmware &fw);
+
+/** Score a taint report against ground truth. */
+EngineStats scoreReport(const std::vector<taint::Alert> &alerts,
+                        const synth::GroundTruth &truth, double ms,
+                        std::vector<ir::Addr> *bugSites = nullptr);
+
+} // namespace fits::eval
+
+#endif // FITS_EVAL_HARNESS_HH_

@@ -1,0 +1,92 @@
+#include "tables.hh"
+
+#include <algorithm>
+
+#include "support/strings.hh"
+
+namespace fits::eval {
+
+const std::string TablePrinter::kSeparatorTag_ = "\x01sep";
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.push_back({kSeparatorTag_});
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag_)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto printSeparator = [&]() {
+        std::string line = "+";
+        for (std::size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        std::printf("%s\n", line.c_str());
+    };
+    auto printCells = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            line += " " + cell +
+                    std::string(widths[c] - cell.size(), ' ') + " |";
+        }
+        std::printf("%s\n", line.c_str());
+    };
+
+    printSeparator();
+    printCells(headers_);
+    printSeparator();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag_)
+            printSeparator();
+        else
+            printCells(row);
+    }
+    printSeparator();
+}
+
+std::string
+percent(double ratio)
+{
+    return support::format("%.0f%%", ratio * 100.0);
+}
+
+std::string
+hmm(double ms)
+{
+    const long totalSeconds = static_cast<long>(ms / 1000.0);
+    return support::format("%ld:%02ld.%03ld", totalSeconds / 60,
+                           totalSeconds % 60,
+                           static_cast<long>(ms) % 1000);
+}
+
+std::string
+fixed(double value, int digits)
+{
+    return support::format("%.*f", digits, value);
+}
+
+} // namespace fits::eval

@@ -1,0 +1,44 @@
+#ifndef FITS_EVAL_TABLES_HH_
+#define FITS_EVAL_TABLES_HH_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fits::eval {
+
+/**
+ * Fixed-width text-table printer for the bench binaries, so every
+ * reproduced table renders in the same style as the paper's.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    static const std::string kSeparatorTag_;
+};
+
+/** "89%"-style rendering of a [0,1] ratio. */
+std::string percent(double ratio);
+
+/** "h:mm"-style rendering of milliseconds. */
+std::string hmm(double ms);
+
+/** Fixed-precision rendering. */
+std::string fixed(double value, int digits = 1);
+
+} // namespace fits::eval
+
+#endif // FITS_EVAL_TABLES_HH_

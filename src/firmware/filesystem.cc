@@ -1,0 +1,67 @@
+#include "filesystem.hh"
+
+#include "support/strings.hh"
+
+namespace fits::fw {
+
+const char *
+fileTypeName(FileType type)
+{
+    switch (type) {
+      case FileType::Executable: return "executable";
+      case FileType::Library:    return "library";
+      case FileType::Config:     return "config";
+      case FileType::Other:      return "other";
+    }
+    return "?";
+}
+
+void
+Filesystem::addFile(FileEntry entry)
+{
+    files_.push_back(std::move(entry));
+}
+
+const FileEntry *
+Filesystem::find(const std::string &path) const
+{
+    for (const auto &f : files_) {
+        if (f.path == path)
+            return &f;
+    }
+    return nullptr;
+}
+
+const FileEntry *
+Filesystem::findByBasename(const std::string &basename) const
+{
+    for (const auto &f : files_) {
+        if (f.path == basename ||
+            support::endsWith(f.path, "/" + basename)) {
+            return &f;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<const FileEntry *>
+Filesystem::filesOfType(FileType type) const
+{
+    std::vector<const FileEntry *> out;
+    for (const auto &f : files_) {
+        if (f.type == type)
+            out.push_back(&f);
+    }
+    return out;
+}
+
+std::size_t
+Filesystem::totalBytes() const
+{
+    std::size_t n = 0;
+    for (const auto &f : files_)
+        n += f.bytes.size();
+    return n;
+}
+
+} // namespace fits::fw

@@ -1,0 +1,60 @@
+#ifndef FITS_FIRMWARE_FILESYSTEM_HH_
+#define FITS_FIRMWARE_FILESYSTEM_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fits::fw {
+
+/** Coarse file classification inside a firmware file system. */
+enum class FileType : std::uint8_t {
+    Executable, ///< an FBIN program (e.g. /usr/sbin/httpd)
+    Library,    ///< an FBIN shared library (e.g. /lib/libc.so)
+    Config,     ///< text configuration
+    Other,      ///< web assets, scripts, ...
+};
+
+const char *fileTypeName(FileType type);
+
+/** One file extracted from a firmware image. */
+struct FileEntry
+{
+    std::string path;
+    FileType type = FileType::Other;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * The unpacked firmware file system: a flat path -> bytes table (the
+ * squashfs tree of a real image, without the directory ceremony that
+ * none of the analyses need).
+ */
+class Filesystem
+{
+  public:
+    void addFile(FileEntry entry);
+
+    const std::vector<FileEntry> &files() const { return files_; }
+
+    /** Entry with the exact path, or nullptr. */
+    const FileEntry *find(const std::string &path) const;
+
+    /** Entry whose path ends with the given basename, or nullptr. */
+    const FileEntry *findByBasename(const std::string &basename) const;
+
+    /** All entries of one type. */
+    std::vector<const FileEntry *> filesOfType(FileType type) const;
+
+    std::size_t size() const { return files_.size(); }
+
+    /** Total bytes across all files. */
+    std::size_t totalBytes() const;
+
+  private:
+    std::vector<FileEntry> files_;
+};
+
+} // namespace fits::fw
+
+#endif // FITS_FIRMWARE_FILESYSTEM_HH_

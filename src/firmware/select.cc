@@ -1,0 +1,94 @@
+#include "select.hh"
+
+#include "binary/fbin.hh"
+#include "support/logging.hh"
+
+namespace fits::fw {
+
+const std::vector<std::string> &
+networkImportNames()
+{
+    static const std::vector<std::string> names = {
+        "socket", "bind", "listen", "accept", "recv", "recvfrom",
+        "recvmsg", "send", "sendto", "select", "inet_ntoa", "htons",
+        "setsockopt",
+    };
+    return names;
+}
+
+namespace {
+
+bool
+isReceiveStyle(const std::string &name)
+{
+    return name == "recv" || name == "recvfrom" || name == "recvmsg" ||
+           name == "accept";
+}
+
+} // namespace
+
+int
+networkScore(const bin::BinaryImage &image)
+{
+    int score = 0;
+    for (const auto &name : networkImportNames()) {
+        if (image.importByName(name) != nullptr)
+            score += isReceiveStyle(name) ? 2 : 1;
+    }
+    return score;
+}
+
+support::Result<AnalysisTarget>
+selectAnalysisTarget(const Filesystem &filesystem)
+{
+    using R = support::Result<AnalysisTarget>;
+
+    bool anyParsed = false;
+    int bestScore = 0;
+    bin::BinaryImage best;
+
+    for (const FileEntry *entry :
+         filesystem.filesOfType(FileType::Executable)) {
+        auto loaded = bin::loadBinary(entry->bytes);
+        if (!loaded) {
+            support::logWarn("select", entry->path + ": " +
+                                           loaded.errorMessage());
+            continue;
+        }
+        anyParsed = true;
+        const int score = networkScore(loaded.value());
+        if (score > bestScore) {
+            bestScore = score;
+            best = loaded.take();
+        }
+    }
+
+    if (!anyParsed)
+        return R::error("no executable in the file system parses as "
+                        "FBIN");
+    if (bestScore == 0)
+        return R::error("no executable imports the network interface");
+
+    AnalysisTarget target;
+    target.main = std::move(best);
+
+    for (const auto &dep : target.main.neededLibraries) {
+        const FileEntry *libEntry = filesystem.findByBasename(dep);
+        if (!libEntry) {
+            target.missingLibraries.push_back(dep);
+            continue;
+        }
+        auto lib = bin::loadBinary(libEntry->bytes);
+        if (!lib) {
+            target.missingLibraries.push_back(dep);
+            support::logWarn("select",
+                             dep + ": " + lib.errorMessage());
+            continue;
+        }
+        target.libraries.push_back(lib.take());
+    }
+
+    return R::ok(std::move(target));
+}
+
+} // namespace fits::fw

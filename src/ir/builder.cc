@@ -1,0 +1,162 @@
+#include "builder.hh"
+
+#include <cassert>
+
+namespace fits::ir {
+
+FunctionBuilder::FunctionBuilder(std::string name)
+    : name_(std::move(name))
+{
+    blocks_.emplace_back();
+}
+
+FunctionBuilder::BlockId
+FunctionBuilder::newBlock()
+{
+    blocks_.emplace_back();
+    return blocks_.size() - 1;
+}
+
+void
+FunctionBuilder::switchTo(BlockId block)
+{
+    assert(block < blocks_.size());
+    current_ = block;
+}
+
+void
+FunctionBuilder::append(Stmt stmt)
+{
+    blocks_[current_].stmts.push_back(stmt);
+}
+
+TmpId
+FunctionBuilder::get(RegId reg)
+{
+    TmpId t = freshTmp();
+    append(Stmt::get(t, reg));
+    return t;
+}
+
+void
+FunctionBuilder::put(RegId reg, Operand value)
+{
+    append(Stmt::put(reg, value));
+}
+
+TmpId
+FunctionBuilder::cnst(std::uint64_t value)
+{
+    TmpId t = freshTmp();
+    append(Stmt::cnst(t, value));
+    return t;
+}
+
+TmpId
+FunctionBuilder::binop(BinOp op, Operand lhs, Operand rhs)
+{
+    TmpId t = freshTmp();
+    append(Stmt::binop(t, op, lhs, rhs));
+    return t;
+}
+
+TmpId
+FunctionBuilder::load(Operand addr)
+{
+    TmpId t = freshTmp();
+    append(Stmt::load(t, addr));
+    return t;
+}
+
+void
+FunctionBuilder::store(Operand addr, Operand value)
+{
+    append(Stmt::store(addr, value));
+}
+
+void
+FunctionBuilder::call(Addr target)
+{
+    append(Stmt::call(target));
+}
+
+void
+FunctionBuilder::callIndirect(Operand target)
+{
+    append(Stmt::callIndirect(target));
+}
+
+void
+FunctionBuilder::branch(Operand cond, BlockId taken)
+{
+    pending_.push_back({current_, blocks_[current_].stmts.size(), taken});
+    append(Stmt::branch(cond, 0));
+}
+
+void
+FunctionBuilder::jump(BlockId target)
+{
+    pending_.push_back({current_, blocks_[current_].stmts.size(), target});
+    append(Stmt::jump(0));
+}
+
+void
+FunctionBuilder::jumpIndirect(Operand target)
+{
+    append(Stmt::jumpIndirect(target));
+}
+
+void
+FunctionBuilder::ret()
+{
+    append(Stmt::ret());
+}
+
+void
+FunctionBuilder::setArg(int i, Operand value)
+{
+    assert(i >= 0 && i < kNumArgRegs);
+    put(static_cast<RegId>(i), value);
+}
+
+TmpId
+FunctionBuilder::retVal()
+{
+    return get(kRetReg);
+}
+
+Function
+FunctionBuilder::build(Addr entry)
+{
+    // Guarantee no block is empty: an empty block would alias the next
+    // block's address, breaking the addr -> block mapping. Pad with RET
+    // (unreachable filler in practice).
+    for (auto &block : blocks_) {
+        if (block.stmts.empty())
+            block.stmts.push_back(Stmt::ret());
+    }
+
+    // Lay out blocks sequentially and record their addresses.
+    std::vector<Addr> addrs(blocks_.size());
+    Addr cursor = entry;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        addrs[i] = cursor;
+        blocks_[i].addr = cursor;
+        cursor += blocks_[i].byteSize();
+    }
+
+    // Patch label targets to final addresses.
+    for (const auto &p : pending_) {
+        assert(p.label < blocks_.size());
+        blocks_[p.block].stmts[p.stmt].target = addrs[p.label];
+    }
+
+    Function fn;
+    fn.entry = entry;
+    fn.name = std::move(name_);
+    fn.blocks = std::move(blocks_);
+    fn.numTmps = nextTmp_;
+    return fn;
+}
+
+} // namespace fits::ir

@@ -1,0 +1,126 @@
+#ifndef FITS_IR_BUILDER_HH_
+#define FITS_IR_BUILDER_HH_
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace fits::ir {
+
+/**
+ * Incremental constructor for Function objects.
+ *
+ * Blocks are created under label ids and control-flow targets refer to
+ * labels; build() lays the blocks out sequentially from the entry
+ * address, computes each block's final address, and patches branch/jump
+ * targets. This lets the synthetic firmware generator emit functions
+ * without pre-computing a layout.
+ */
+class FunctionBuilder
+{
+  public:
+    using BlockId = std::size_t;
+
+    explicit FunctionBuilder(std::string name = "");
+
+    /** Create a new, initially empty block and return its label. */
+    BlockId newBlock();
+
+    /** Make the given block the insertion point. */
+    void switchTo(BlockId block);
+
+    /** Label of the current insertion block. */
+    BlockId currentBlock() const { return current_; }
+
+    /** Index the next statement will get in the current block (used to
+     * compute statement addresses after build()). */
+    std::size_t
+    nextStmtIndex() const
+    {
+        return blocks_[current_].stmts.size();
+    }
+
+    /** Allocate a fresh temporary id. */
+    TmpId freshTmp() { return nextTmp_++; }
+
+    // --- statement emitters (each appends to the current block) ---
+
+    /** t = GET(reg); returns t. */
+    TmpId get(RegId reg);
+
+    /** PUT(reg) = value. */
+    void put(RegId reg, Operand value);
+
+    /** t = constant; returns t. */
+    TmpId cnst(std::uint64_t value);
+
+    /** t = op(lhs, rhs); returns t. */
+    TmpId binop(BinOp op, Operand lhs, Operand rhs);
+
+    /** t = LOAD(addr); returns t. */
+    TmpId load(Operand addr);
+
+    /** STORE(addr) = value. */
+    void store(Operand addr, Operand value);
+
+    /** Direct call to an absolute entry address (function or PLT stub). */
+    void call(Addr target);
+
+    /** Indirect call through a temporary/immediate operand. */
+    void callIndirect(Operand target);
+
+    /** Conditional side exit to a label (VEX Ist_Exit semantics):
+     * when the condition is false, execution continues with the next
+     * emitted statement. */
+    void branch(Operand cond, BlockId taken);
+
+    /** Unconditional jump to a label. */
+    void jump(BlockId target);
+
+    /** Indirect jump (e.g. via a jump-table load). */
+    void jumpIndirect(Operand target);
+
+    /** Return to caller. */
+    void ret();
+
+    // --- ABI conveniences ---
+
+    /**
+     * PUT the i-th call argument (register args only; i < kNumArgRegs).
+     */
+    void setArg(int i, Operand value);
+
+    /** t = GET(r0), the return value after a call; returns t. */
+    TmpId retVal();
+
+    /** Number of blocks created so far. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /**
+     * Finalize: lay blocks out from entry, patch label targets to
+     * addresses, and return the finished function. The builder must not
+     * be reused afterwards.
+     */
+    Function build(Addr entry);
+
+  private:
+    struct PendingTarget
+    {
+        std::size_t block;
+        std::size_t stmt;
+        BlockId label;
+    };
+
+    void append(Stmt stmt);
+
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<PendingTarget> pending_;
+    BlockId current_ = 0;
+    TmpId nextTmp_ = 0;
+};
+
+} // namespace fits::ir
+
+#endif // FITS_IR_BUILDER_HH_

@@ -1,0 +1,30 @@
+#ifndef FITS_IR_PARSE_HH_
+#define FITS_IR_PARSE_HH_
+
+#include <string>
+
+#include "ir/function.hh"
+#include "support/result.hh"
+
+namespace fits::ir {
+
+/**
+ * Parse the textual form produced by printFunction() back into a
+ * Function. Together with the printer this gives a lossless text
+ * round trip, which makes IR fixtures writable by hand in tests and
+ * lets tools exchange lifted functions as text.
+ *
+ * Accepted grammar (one construct per line; addresses in hex):
+ *
+ *   function <name|<stripped>> @ <addr> (<n> blocks, <n> tmps)
+ *     block <addr>:
+ *       <addr>: <stmt>
+ *
+ * where <stmt> is any printer form, e.g. "t3 = LOAD(t2)",
+ * "PUT(r1) = t3", "IF (t4) GOTO 0x1010", "CALL 0x8000", "RET".
+ */
+support::Result<Function> parseFunction(const std::string &text);
+
+} // namespace fits::ir
+
+#endif // FITS_IR_PARSE_HH_

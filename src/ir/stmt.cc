@@ -1,0 +1,188 @@
+#include "stmt.hh"
+
+#include "support/strings.hh"
+
+namespace fits::ir {
+
+Stmt
+Stmt::get(TmpId dst, RegId reg)
+{
+    Stmt s;
+    s.kind = StmtKind::Get;
+    s.dst = dst;
+    s.reg = reg;
+    return s;
+}
+
+Stmt
+Stmt::put(RegId reg, Operand value)
+{
+    Stmt s;
+    s.kind = StmtKind::Put;
+    s.reg = reg;
+    s.a = value;
+    return s;
+}
+
+Stmt
+Stmt::cnst(TmpId dst, std::uint64_t value)
+{
+    Stmt s;
+    s.kind = StmtKind::Const;
+    s.dst = dst;
+    s.a = Operand::ofImm(value);
+    return s;
+}
+
+Stmt
+Stmt::binop(TmpId dst, BinOp op, Operand lhs, Operand rhs)
+{
+    Stmt s;
+    s.kind = StmtKind::Binop;
+    s.dst = dst;
+    s.op = op;
+    s.a = lhs;
+    s.b = rhs;
+    return s;
+}
+
+Stmt
+Stmt::load(TmpId dst, Operand addr)
+{
+    Stmt s;
+    s.kind = StmtKind::Load;
+    s.dst = dst;
+    s.a = addr;
+    return s;
+}
+
+Stmt
+Stmt::store(Operand addr, Operand value)
+{
+    Stmt s;
+    s.kind = StmtKind::Store;
+    s.a = addr;
+    s.b = value;
+    return s;
+}
+
+Stmt
+Stmt::call(Addr target)
+{
+    Stmt s;
+    s.kind = StmtKind::Call;
+    s.target = target;
+    return s;
+}
+
+Stmt
+Stmt::callIndirect(Operand target)
+{
+    Stmt s;
+    s.kind = StmtKind::Call;
+    s.indirect = true;
+    s.a = target;
+    return s;
+}
+
+Stmt
+Stmt::branch(Operand cond, Addr taken)
+{
+    Stmt s;
+    s.kind = StmtKind::Branch;
+    s.a = cond;
+    s.target = taken;
+    return s;
+}
+
+Stmt
+Stmt::jump(Addr target)
+{
+    Stmt s;
+    s.kind = StmtKind::Jump;
+    s.target = target;
+    return s;
+}
+
+Stmt
+Stmt::jumpIndirect(Operand target)
+{
+    Stmt s;
+    s.kind = StmtKind::Jump;
+    s.indirect = true;
+    s.a = target;
+    return s;
+}
+
+Stmt
+Stmt::ret()
+{
+    Stmt s;
+    s.kind = StmtKind::Ret;
+    return s;
+}
+
+bool
+Stmt::isTerminator() const
+{
+    switch (kind) {
+      case StmtKind::Jump:
+      case StmtKind::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Stmt::definesTmp() const
+{
+    switch (kind) {
+      case StmtKind::Get:
+      case StmtKind::Const:
+      case StmtKind::Binop:
+      case StmtKind::Load:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Stmt::toString() const
+{
+    using support::format;
+    using support::hex;
+    switch (kind) {
+      case StmtKind::Get:
+        return format("t%u = GET(r%u)", dst, reg);
+      case StmtKind::Put:
+        return format("PUT(r%u) = %s", reg, a.toString().c_str());
+      case StmtKind::Const:
+        return format("t%u = %s", dst, hex(a.imm).c_str());
+      case StmtKind::Binop:
+        return format("t%u = %s(%s, %s)", dst, binOpName(op),
+                      a.toString().c_str(), b.toString().c_str());
+      case StmtKind::Load:
+        return format("t%u = LOAD(%s)", dst, a.toString().c_str());
+      case StmtKind::Store:
+        return format("STORE(%s) = %s", a.toString().c_str(),
+                      b.toString().c_str());
+      case StmtKind::Call:
+        if (indirect)
+            return format("CALL %s", a.toString().c_str());
+        return format("CALL %s", hex(target).c_str());
+      case StmtKind::Branch:
+        return format("IF (%s) GOTO %s", a.toString().c_str(),
+                      hex(target).c_str());
+      case StmtKind::Jump:
+        if (indirect)
+            return format("GOTO %s", a.toString().c_str());
+        return format("GOTO %s", hex(target).c_str());
+      case StmtKind::Ret:
+        return "RET";
+    }
+    return "?";
+}
+
+} // namespace fits::ir

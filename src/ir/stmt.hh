@@ -1,0 +1,97 @@
+#ifndef FITS_IR_STMT_HH_
+#define FITS_IR_STMT_HH_
+
+#include <string>
+
+#include "ir/types.hh"
+
+namespace fits::ir {
+
+/**
+ * Statement kinds of the FIR intermediate language.
+ *
+ * FIR deliberately mirrors the VEX statement forms enumerated in Table 2
+ * of the FITS paper (PUT/GET/Binop/Load/Store), because the paper's
+ * argument-backtracking rules are defined over exactly these forms; the
+ * control-flow statements (Call/Branch/Jump/Ret) carry what the CFG and
+ * call-graph builders need.
+ */
+enum class StmtKind : std::uint8_t {
+    Get,    ///< t = GET(r)
+    Put,    ///< PUT(r) = t | imm
+    Const,  ///< t = imm
+    Binop,  ///< t = op(a, b)
+    Load,   ///< t = LOAD(a)
+    Store,  ///< STORE(a) = b
+    Call,   ///< call target (direct addr) or call a (indirect)
+    Branch, ///< conditional side exit: if (a != 0) goto target, else
+            ///< continue with the next statement (VEX Ist_Exit);
+            ///< may appear anywhere in a block
+    Jump,   ///< goto target (direct) or goto a (indirect); block ends
+    Ret,    ///< return (value convention: r0); block ends
+};
+
+/**
+ * One FIR statement. A flat tagged struct rather than a class hierarchy:
+ * programs hold millions of statements, and the analyses sweep them
+ * linearly.
+ *
+ * Field usage by kind:
+ *   Get:    dst = GET(reg)
+ *   Put:    PUT(reg) = a
+ *   Const:  dst = a.imm (a is always Imm)
+ *   Binop:  dst = op(a, b)
+ *   Load:   dst = LOAD(a)
+ *   Store:  STORE(a) = b
+ *   Call:   direct: target is the callee entry; indirect: a holds target
+ *   Branch: a is the condition, target is the taken block address
+ *   Jump:   direct: target is the block address; indirect: a holds target
+ *   Ret:    no fields
+ */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Ret;
+    TmpId dst = 0;
+    RegId reg = 0;
+    BinOp op = BinOp::Add;
+    Operand a;
+    Operand b;
+    Addr target = 0;
+    bool indirect = false;
+
+    static Stmt get(TmpId dst, RegId reg);
+    static Stmt put(RegId reg, Operand value);
+    static Stmt cnst(TmpId dst, std::uint64_t value);
+    static Stmt binop(TmpId dst, BinOp op, Operand lhs, Operand rhs);
+    static Stmt load(TmpId dst, Operand addr);
+    static Stmt store(Operand addr, Operand value);
+    static Stmt call(Addr target);
+    static Stmt callIndirect(Operand target);
+    static Stmt branch(Operand cond, Addr taken);
+    static Stmt jump(Addr target);
+    static Stmt jumpIndirect(Operand target);
+    static Stmt ret();
+
+    /** True if the statement unconditionally ends a basic block
+     * (Jump/Ret). Branch is a conditional side exit, not a
+     * terminator. */
+    bool isTerminator() const;
+
+    /** True if the statement writes a temporary (dst is meaningful). */
+    bool definesTmp() const;
+
+    /** Render one line of IR text ("t3 = LOAD(t2)"). */
+    std::string toString() const;
+};
+
+/**
+ * Fixed size of one encoded statement in the guest address space. The
+ * lifter and the synthetic generator agree on this so that statement
+ * addresses (block address + index * kStmtSize) are stable identifiers
+ * for call sites and definition points.
+ */
+constexpr Addr kStmtSize = 4;
+
+} // namespace fits::ir
+
+#endif // FITS_IR_STMT_HH_

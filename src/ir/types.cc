@@ -1,0 +1,77 @@
+#include "types.hh"
+
+#include "support/strings.hh"
+
+namespace fits::ir {
+
+bool
+isComparison(BinOp op)
+{
+    switch (op) {
+      case BinOp::CmpEq:
+      case BinOp::CmpNe:
+      case BinOp::CmpLt:
+      case BinOp::CmpLe:
+      case BinOp::CmpGt:
+      case BinOp::CmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+binOpName(BinOp op)
+{
+    switch (op) {
+      case BinOp::Add:   return "Add";
+      case BinOp::Sub:   return "Sub";
+      case BinOp::Mul:   return "Mul";
+      case BinOp::UDiv:  return "UDiv";
+      case BinOp::And:   return "And";
+      case BinOp::Or:    return "Or";
+      case BinOp::Xor:   return "Xor";
+      case BinOp::Shl:   return "Shl";
+      case BinOp::Shr:   return "Shr";
+      case BinOp::CmpEq: return "CmpEq";
+      case BinOp::CmpNe: return "CmpNe";
+      case BinOp::CmpLt: return "CmpLt";
+      case BinOp::CmpLe: return "CmpLe";
+      case BinOp::CmpGt: return "CmpGt";
+      case BinOp::CmpGe: return "CmpGe";
+    }
+    return "?";
+}
+
+std::uint64_t
+evalBinOp(BinOp op, std::uint64_t lhs, std::uint64_t rhs)
+{
+    switch (op) {
+      case BinOp::Add:   return lhs + rhs;
+      case BinOp::Sub:   return lhs - rhs;
+      case BinOp::Mul:   return lhs * rhs;
+      case BinOp::UDiv:  return rhs == 0 ? 0 : lhs / rhs;
+      case BinOp::And:   return lhs & rhs;
+      case BinOp::Or:    return lhs | rhs;
+      case BinOp::Xor:   return lhs ^ rhs;
+      case BinOp::Shl:   return rhs >= 64 ? 0 : lhs << rhs;
+      case BinOp::Shr:   return rhs >= 64 ? 0 : lhs >> rhs;
+      case BinOp::CmpEq: return lhs == rhs ? 1 : 0;
+      case BinOp::CmpNe: return lhs != rhs ? 1 : 0;
+      case BinOp::CmpLt: return lhs < rhs ? 1 : 0;
+      case BinOp::CmpLe: return lhs <= rhs ? 1 : 0;
+      case BinOp::CmpGt: return lhs > rhs ? 1 : 0;
+      case BinOp::CmpGe: return lhs >= rhs ? 1 : 0;
+    }
+    return 0;
+}
+
+std::string
+Operand::toString() const
+{
+    if (isTmp())
+        return support::format("t%u", tmp);
+    return support::hex(imm);
+}
+
+} // namespace fits::ir

@@ -1,0 +1,101 @@
+#ifndef FITS_IR_TYPES_HH_
+#define FITS_IR_TYPES_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace fits::ir {
+
+/** Virtual address inside a binary's address space. */
+using Addr = std::uint64_t;
+
+/** Function-local temporary variable id (the VEX "t_i"). */
+using TmpId = std::uint32_t;
+
+/** Guest register id (the VEX "r_i"). */
+using RegId = std::uint16_t;
+
+/**
+ * Guest register file, ARM32-flavoured: sixteen general registers with
+ * the standard AAPCS roles. Arguments are passed in r0..r3, additional
+ * arguments on the stack, and the return value in r0.
+ */
+constexpr RegId kRegR0 = 0;
+constexpr RegId kRegR1 = 1;
+constexpr RegId kRegR2 = 2;
+constexpr RegId kRegR3 = 3;
+constexpr RegId kRegSp = 13;
+constexpr RegId kRegLr = 14;
+constexpr RegId kRegPc = 15;
+constexpr int kNumRegs = 16;
+
+/** Number of register-passed arguments under the guest ABI. */
+constexpr int kNumArgRegs = 4;
+
+/** Return-value register under the guest ABI. */
+constexpr RegId kRetReg = kRegR0;
+
+/** Binary operations usable in Binop statements. */
+enum class BinOp : std::uint8_t {
+    Add, Sub, Mul, UDiv,
+    And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+};
+
+/** True for the comparison subset of BinOp. */
+bool isComparison(BinOp op);
+
+/** Stable mnemonic for printing ("Add", "CmpEq", ...). */
+const char *binOpName(BinOp op);
+
+/** Evaluate a BinOp on concrete 64-bit values (comparisons yield 0/1). */
+std::uint64_t evalBinOp(BinOp op, std::uint64_t lhs, std::uint64_t rhs);
+
+/**
+ * An operand of a statement: either a temporary or an immediate constant.
+ * This mirrors VEX's RdTmp/Const expression atoms.
+ */
+struct Operand
+{
+    enum class Kind : std::uint8_t { Tmp, Imm };
+
+    Kind kind = Kind::Imm;
+    TmpId tmp = 0;
+    std::uint64_t imm = 0;
+
+    static Operand
+    ofTmp(TmpId id)
+    {
+        Operand o;
+        o.kind = Kind::Tmp;
+        o.tmp = id;
+        return o;
+    }
+
+    static Operand
+    ofImm(std::uint64_t value)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = value;
+        return o;
+    }
+
+    bool isTmp() const { return kind == Kind::Tmp; }
+    bool isImm() const { return kind == Kind::Imm; }
+
+    bool
+    operator==(const Operand &other) const
+    {
+        if (kind != other.kind)
+            return false;
+        return isTmp() ? tmp == other.tmp : imm == other.imm;
+    }
+
+    /** Render as "t12" or "0x40". */
+    std::string toString() const;
+};
+
+} // namespace fits::ir
+
+#endif // FITS_IR_TYPES_HH_

@@ -1,0 +1,156 @@
+#include "validate.hh"
+
+#include <unordered_set>
+
+#include "support/strings.hh"
+
+namespace fits::ir {
+
+namespace {
+
+void
+checkOperandTmps(const Operand &op, const Function &fn,
+                 const std::unordered_set<TmpId> &defined,
+                 const char *where, std::vector<std::string> &problems)
+{
+    using support::format;
+    if (!op.isTmp())
+        return;
+    if (op.tmp >= fn.numTmps) {
+        problems.push_back(format("%s: tmp t%u >= numTmps %u", where,
+                                  op.tmp, fn.numTmps));
+    } else if (defined.find(op.tmp) == defined.end()) {
+        problems.push_back(format("%s: tmp t%u used but never defined",
+                                  where, op.tmp));
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateFunction(const Function &fn)
+{
+    using support::format;
+    using support::hex;
+    std::vector<std::string> problems;
+
+    if (fn.blocks.empty()) {
+        problems.push_back("function has no blocks");
+        return problems;
+    }
+    if (fn.blocks.front().addr != fn.entry) {
+        problems.push_back(format("entry block at %s != entry %s",
+                                  hex(fn.blocks.front().addr).c_str(),
+                                  hex(fn.entry).c_str()));
+    }
+
+    // Contiguous layout and block address set.
+    std::unordered_set<Addr> blockAddrs;
+    Addr cursor = fn.entry;
+    for (const auto &block : fn.blocks) {
+        if (block.addr != cursor) {
+            problems.push_back(format("block %s not contiguous "
+                                      "(expected %s)",
+                                      hex(block.addr).c_str(),
+                                      hex(cursor).c_str()));
+        }
+        if (block.stmts.empty())
+            problems.push_back(format("block %s empty",
+                                      hex(block.addr).c_str()));
+        blockAddrs.insert(block.addr);
+        cursor = block.addr + block.byteSize();
+    }
+
+    // Collect all defined tmps.
+    std::unordered_set<TmpId> defined;
+    for (const auto &block : fn.blocks) {
+        for (const auto &stmt : block.stmts) {
+            if (stmt.definesTmp()) {
+                defined.insert(stmt.dst);
+                if (stmt.dst >= fn.numTmps) {
+                    problems.push_back(format("defined tmp t%u >= "
+                                              "numTmps %u",
+                                              stmt.dst, fn.numTmps));
+                }
+            }
+        }
+    }
+
+    for (const auto &block : fn.blocks) {
+        for (std::size_t i = 0; i < block.stmts.size(); ++i) {
+            const Stmt &stmt = block.stmts[i];
+            std::string where = format("%s",
+                                       hex(block.stmtAddr(i)).c_str());
+
+            if (stmt.isTerminator() && i + 1 != block.stmts.size()) {
+                problems.push_back(where +
+                                   ": terminator not last in block");
+            }
+
+            switch (stmt.kind) {
+              case StmtKind::Get:
+              case StmtKind::Put:
+                if (stmt.reg >= kNumRegs)
+                    problems.push_back(where + ": bad register id");
+                break;
+              default:
+                break;
+            }
+
+            // Operand checks by kind.
+            switch (stmt.kind) {
+              case StmtKind::Put:
+              case StmtKind::Load:
+                checkOperandTmps(stmt.a, fn, defined, where.c_str(),
+                                 problems);
+                break;
+              case StmtKind::Binop:
+              case StmtKind::Store:
+                checkOperandTmps(stmt.a, fn, defined, where.c_str(),
+                                 problems);
+                checkOperandTmps(stmt.b, fn, defined, where.c_str(),
+                                 problems);
+                break;
+              case StmtKind::Branch:
+                checkOperandTmps(stmt.a, fn, defined, where.c_str(),
+                                 problems);
+                break;
+              case StmtKind::Call:
+              case StmtKind::Jump:
+                if (stmt.indirect) {
+                    checkOperandTmps(stmt.a, fn, defined, where.c_str(),
+                                     problems);
+                }
+                break;
+              default:
+                break;
+            }
+
+            // Direct intra-function control flow must land on blocks.
+            if ((stmt.kind == StmtKind::Branch ||
+                 (stmt.kind == StmtKind::Jump && !stmt.indirect)) &&
+                blockAddrs.find(stmt.target) == blockAddrs.end()) {
+                problems.push_back(where + ": target " +
+                                   hex(stmt.target) +
+                                   " is not a block boundary");
+            }
+        }
+    }
+
+    return problems;
+}
+
+std::vector<std::string>
+validateProgram(const Program &program)
+{
+    std::vector<std::string> problems;
+    for (const auto &fn : program.functions()) {
+        for (auto &p : validateFunction(fn)) {
+            problems.push_back(support::hex(fn.entry) + ": " +
+                               std::move(p));
+        }
+    }
+    return problems;
+}
+
+} // namespace fits::ir

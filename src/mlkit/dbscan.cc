@@ -1,0 +1,89 @@
+#include "dbscan.hh"
+
+#include <deque>
+
+namespace fits::ml {
+
+std::vector<std::size_t>
+DbscanResult::members(int cluster) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] == cluster)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+DbscanResult::noiseCount() const
+{
+    std::size_t n = 0;
+    for (int label : labels) {
+        if (label == -1)
+            ++n;
+    }
+    return n;
+}
+
+namespace {
+
+std::vector<std::size_t>
+regionQuery(const Matrix &points, std::size_t p,
+            const DbscanConfig &config)
+{
+    std::vector<std::size_t> neighbors;
+    for (std::size_t q = 0; q < points.size(); ++q) {
+        if (distance(config.metric, points[p], points[q]) <= config.eps)
+            neighbors.push_back(q);
+    }
+    return neighbors;
+}
+
+} // namespace
+
+DbscanResult
+dbscan(const Matrix &points, const DbscanConfig &config)
+{
+    constexpr int kUnvisited = -2;
+    constexpr int kNoise = -1;
+
+    DbscanResult result;
+    result.labels.assign(points.size(), kUnvisited);
+
+    int cluster = 0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        if (result.labels[p] != kUnvisited)
+            continue;
+
+        auto neighbors = regionQuery(points, p, config);
+        if (neighbors.size() < config.minPts) {
+            result.labels[p] = kNoise;
+            continue;
+        }
+
+        result.labels[p] = cluster;
+        std::deque<std::size_t> seeds(neighbors.begin(),
+                                      neighbors.end());
+        while (!seeds.empty()) {
+            const std::size_t q = seeds.front();
+            seeds.pop_front();
+            if (result.labels[q] == kNoise)
+                result.labels[q] = cluster; // border point
+            if (result.labels[q] != kUnvisited)
+                continue;
+            result.labels[q] = cluster;
+            auto qNeighbors = regionQuery(points, q, config);
+            if (qNeighbors.size() >= config.minPts) {
+                for (std::size_t r : qNeighbors)
+                    seeds.push_back(r);
+            }
+        }
+        ++cluster;
+    }
+
+    result.numClusters = cluster;
+    return result;
+}
+
+} // namespace fits::ml

@@ -1,0 +1,41 @@
+#ifndef FITS_MLKIT_DBSCAN_HH_
+#define FITS_MLKIT_DBSCAN_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "mlkit/distance.hh"
+
+namespace fits::ml {
+
+/** DBSCAN parameters. */
+struct DbscanConfig
+{
+    double eps = 0.5;
+    std::size_t minPts = 3;
+    Metric metric = Metric::Euclidean;
+};
+
+/** Clustering outcome; label -1 marks noise points. */
+struct DbscanResult
+{
+    std::vector<int> labels;
+    int numClusters = 0;
+
+    /** Row indices of one cluster. */
+    std::vector<std::size_t> members(int cluster) const;
+
+    std::size_t noiseCount() const;
+};
+
+/**
+ * Density-based spatial clustering (Ester et al.), the algorithm FITS
+ * uses for behavior clustering. The classic O(n^2) region-query
+ * formulation: corpora here are a few thousand functions per binary,
+ * where quadratic scans are faster than index structures.
+ */
+DbscanResult dbscan(const Matrix &points, const DbscanConfig &config);
+
+} // namespace fits::ml
+
+#endif // FITS_MLKIT_DBSCAN_HH_

@@ -1,0 +1,38 @@
+#ifndef FITS_MLKIT_DISTANCE_HH_
+#define FITS_MLKIT_DISTANCE_HH_
+
+#include "mlkit/vector.hh"
+
+namespace fits::ml {
+
+/** Distance/similarity metrics compared in Table 8 of the paper. */
+enum class Metric { Cosine, Euclidean, Manhattan, Pearson };
+
+const char *metricName(Metric metric);
+
+/** Cosine similarity in [-1, 1]; 0 if either vector is zero. */
+double cosineSimilarity(const Vec &a, const Vec &b);
+
+/** Cosine distance: 1 - cosineSimilarity. */
+double cosineDistance(const Vec &a, const Vec &b);
+
+double euclideanDistance(const Vec &a, const Vec &b);
+
+double manhattanDistance(const Vec &a, const Vec &b);
+
+/** Pearson correlation coefficient; 0 for constant vectors. */
+double pearsonCorrelation(const Vec &a, const Vec &b);
+
+/** Distance under the given metric (Pearson mapped to 1 - r). */
+double distance(Metric metric, const Vec &a, const Vec &b);
+
+/**
+ * Similarity in [0, 1]-ish under the given metric, used for scoring:
+ * Cosine -> cosine similarity; Pearson -> r; Euclidean/Manhattan ->
+ * 1 / (1 + d), the standard monotone inversion.
+ */
+double similarity(Metric metric, const Vec &a, const Vec &b);
+
+} // namespace fits::ml
+
+#endif // FITS_MLKIT_DISTANCE_HH_

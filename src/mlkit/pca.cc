@@ -1,0 +1,90 @@
+#include "pca.hh"
+
+#include <cmath>
+
+namespace fits::ml {
+
+Vec
+PcaModel::transform(const Vec &row) const
+{
+    Vec centered(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+        centered[c] = row[c] - mean[c];
+    Vec out(components.size());
+    for (std::size_t k = 0; k < components.size(); ++k)
+        out[k] = dot(components[k], centered);
+    return out;
+}
+
+Matrix
+PcaModel::transformAll(const Matrix &m) const
+{
+    Matrix out;
+    out.reserve(m.size());
+    for (const auto &row : m)
+        out.push_back(transform(row));
+    return out;
+}
+
+PcaModel
+fitPca(const Matrix &m, std::size_t numComponents,
+       std::size_t iterations)
+{
+    PcaModel model;
+    const std::size_t cols = columns(m);
+    model.mean = columnMean(m);
+    numComponents = std::min(numComponents, cols);
+    if (m.empty() || cols == 0)
+        return model;
+
+    // Covariance matrix (cols x cols).
+    Matrix cov(cols, Vec(cols, 0.0));
+    for (const auto &row : m) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const double di = row[i] - model.mean[i];
+            for (std::size_t j = 0; j < cols; ++j)
+                cov[i][j] += di * (row[j] - model.mean[j]);
+        }
+    }
+    for (auto &r : cov) {
+        for (auto &v : r)
+            v /= static_cast<double>(m.size());
+    }
+
+    for (std::size_t k = 0; k < numComponents; ++k) {
+        // Power iteration from a deterministic start vector.
+        Vec v(cols, 0.0);
+        v[k % cols] = 1.0;
+        double eigen = 0.0;
+        for (std::size_t it = 0; it < iterations; ++it) {
+            Vec next(cols, 0.0);
+            for (std::size_t i = 0; i < cols; ++i) {
+                for (std::size_t j = 0; j < cols; ++j)
+                    next[i] += cov[i][j] * v[j];
+            }
+            const double len = norm(next);
+            if (len < 1e-12) {
+                // Exhausted variance: remaining components are zero.
+                next.assign(cols, 0.0);
+                v = next;
+                eigen = 0.0;
+                break;
+            }
+            for (auto &x : next)
+                x /= len;
+            v = next;
+            eigen = len;
+        }
+        model.components.push_back(v);
+
+        // Deflate: cov -= eigen * v v^T.
+        for (std::size_t i = 0; i < cols; ++i) {
+            for (std::size_t j = 0; j < cols; ++j)
+                cov[i][j] -= eigen * v[i] * v[j];
+        }
+    }
+
+    return model;
+}
+
+} // namespace fits::ml

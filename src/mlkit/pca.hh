@@ -1,0 +1,33 @@
+#ifndef FITS_MLKIT_PCA_HH_
+#define FITS_MLKIT_PCA_HH_
+
+#include "mlkit/vector.hh"
+
+namespace fits::ml {
+
+/**
+ * Principal component analysis via power iteration with deflation —
+ * enough for the small (11-column) matrices this project projects, and
+ * dependency-free. Rows are centered first; components are unit
+ * vectors of the covariance matrix in decreasing eigenvalue order.
+ */
+struct PcaModel
+{
+    Vec mean;
+    Matrix components; // one row per component
+
+    /** Project a row into component space. */
+    Vec transform(const Vec &row) const;
+
+    /** Project a whole matrix. */
+    Matrix transformAll(const Matrix &m) const;
+};
+
+/** Fit a PCA with the given number of components (clamped to the
+ * column count). */
+PcaModel fitPca(const Matrix &m, std::size_t numComponents,
+                std::size_t iterations = 200);
+
+} // namespace fits::ml
+
+#endif // FITS_MLKIT_PCA_HH_

@@ -1,0 +1,28 @@
+#ifndef FITS_MLKIT_SCALING_HH_
+#define FITS_MLKIT_SCALING_HH_
+
+#include "mlkit/vector.hh"
+
+namespace fits::ml {
+
+/**
+ * Feature-scaling transforms. These implement the preprocessing
+ * alternatives the paper compares the clustering stage against in
+ * §4.5 (standardization, min-max normalization, PCA) — and the
+ * per-column max normalization that Eq. (1) applies when computing
+ * class complexity.
+ */
+
+/** Divide each column by its maximum absolute value (no-op on all-zero
+ * columns). This is the normalization used in Eq. (1). */
+Matrix maxAbsScale(const Matrix &m);
+
+/** Z-score standardization per column (zero-stddev columns become 0). */
+Matrix standardize(const Matrix &m);
+
+/** Min-max normalization per column into [0, 1]. */
+Matrix minMaxScale(const Matrix &m);
+
+} // namespace fits::ml
+
+#endif // FITS_MLKIT_SCALING_HH_

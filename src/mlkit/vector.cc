@@ -1,0 +1,73 @@
+#include "vector.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace fits::ml {
+
+double
+dot(const Vec &a, const Vec &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+norm(const Vec &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+std::size_t
+columns(const Matrix &m)
+{
+    return m.empty() ? 0 : m.front().size();
+}
+
+Vec
+columnAbsMax(const Matrix &m)
+{
+    Vec out(columns(m), 0.0);
+    for (const auto &row : m) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out[c] = std::max(out[c], std::fabs(row[c]));
+    }
+    return out;
+}
+
+Vec
+columnMean(const Matrix &m)
+{
+    Vec out(columns(m), 0.0);
+    if (m.empty())
+        return out;
+    for (const auto &row : m) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out[c] += row[c];
+    }
+    for (auto &v : out)
+        v /= static_cast<double>(m.size());
+    return out;
+}
+
+Vec
+columnStddev(const Matrix &m, const Vec &mean)
+{
+    Vec out(columns(m), 0.0);
+    if (m.empty())
+        return out;
+    for (const auto &row : m) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const double d = row[c] - mean[c];
+            out[c] += d * d;
+        }
+    }
+    for (auto &v : out)
+        v = std::sqrt(v / static_cast<double>(m.size()));
+    return out;
+}
+
+} // namespace fits::ml

@@ -1,0 +1,35 @@
+#ifndef FITS_MLKIT_VECTOR_HH_
+#define FITS_MLKIT_VECTOR_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace fits::ml {
+
+/** A feature vector: one row of a feature matrix. */
+using Vec = std::vector<double>;
+
+/** A row-major feature matrix; all rows must share one dimension. */
+using Matrix = std::vector<Vec>;
+
+/** Dot product; vectors must have equal dimension. */
+double dot(const Vec &a, const Vec &b);
+
+/** Euclidean (L2) norm. */
+double norm(const Vec &a);
+
+/** Column count of a matrix (0 for an empty matrix). */
+std::size_t columns(const Matrix &m);
+
+/** Per-column maxima of absolute values (size = columns). */
+Vec columnAbsMax(const Matrix &m);
+
+/** Per-column means. */
+Vec columnMean(const Matrix &m);
+
+/** Per-column standard deviations (population). */
+Vec columnStddev(const Matrix &m, const Vec &mean);
+
+} // namespace fits::ml
+
+#endif // FITS_MLKIT_VECTOR_HH_

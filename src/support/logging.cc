@@ -1,0 +1,65 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace fits::support {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, std::string_view component,
+            std::string_view message)
+{
+    if (level < level_)
+        return;
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+void
+logDebug(std::string_view component, std::string_view message)
+{
+    Logger::instance().log(LogLevel::Debug, component, message);
+}
+
+void
+logInfo(std::string_view component, std::string_view message)
+{
+    Logger::instance().log(LogLevel::Info, component, message);
+}
+
+void
+logWarn(std::string_view component, std::string_view message)
+{
+    Logger::instance().log(LogLevel::Warn, component, message);
+}
+
+void
+logError(std::string_view component, std::string_view message)
+{
+    Logger::instance().log(LogLevel::Error, component, message);
+}
+
+} // namespace fits::support

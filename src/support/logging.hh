@@ -1,0 +1,45 @@
+#ifndef FITS_SUPPORT_LOGGING_HH_
+#define FITS_SUPPORT_LOGGING_HH_
+
+#include <string>
+#include <string_view>
+
+namespace fits::support {
+
+/** Severity levels in increasing order of importance. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Minimal leveled logger writing to stderr.
+ *
+ * The library is silent by default (Warn threshold) so that bench binaries
+ * can print clean tables; examples raise the level to Info for narration.
+ */
+class Logger
+{
+  public:
+    /** Process-wide logger instance. */
+    static Logger &instance();
+
+    /** Set the minimum level that is emitted. */
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /** Emit one line if level passes the threshold. */
+    void log(LogLevel level, std::string_view component,
+             std::string_view message);
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Convenience wrappers; component names the emitting subsystem. */
+void logDebug(std::string_view component, std::string_view message);
+void logInfo(std::string_view component, std::string_view message);
+void logWarn(std::string_view component, std::string_view message);
+void logError(std::string_view component, std::string_view message);
+
+} // namespace fits::support
+
+#endif // FITS_SUPPORT_LOGGING_HH_

@@ -1,0 +1,75 @@
+#ifndef FITS_SUPPORT_RESULT_HH_
+#define FITS_SUPPORT_RESULT_HH_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fits::support {
+
+/**
+ * A value-or-error-message result, used across module boundaries instead
+ * of exceptions (firmware parsing in particular must report malformed
+ * input as data, not control flow).
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Successful result. */
+    static Result
+    ok(T value)
+    {
+        Result r;
+        r.value_ = std::move(value);
+        return r;
+    }
+
+    /** Failed result carrying a human-readable reason. */
+    static Result
+    error(std::string message)
+    {
+        Result r;
+        r.error_ = std::move(message);
+        return r;
+    }
+
+    bool hasValue() const { return value_.has_value(); }
+    explicit operator bool() const { return hasValue(); }
+
+    /** Access the value; asserts on error results. */
+    const T &
+    value() const
+    {
+        assert(value_.has_value());
+        return *value_;
+    }
+
+    T &
+    value()
+    {
+        assert(value_.has_value());
+        return *value_;
+    }
+
+    /** Move the value out; asserts on error results. */
+    T
+    take()
+    {
+        assert(value_.has_value());
+        return std::move(*value_);
+    }
+
+    /** Error message; empty for successful results. */
+    const std::string &errorMessage() const { return error_; }
+
+  private:
+    Result() = default;
+    std::optional<T> value_;
+    std::string error_;
+};
+
+} // namespace fits::support
+
+#endif // FITS_SUPPORT_RESULT_HH_

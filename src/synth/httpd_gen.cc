@@ -1,0 +1,1455 @@
+#include "httpd_gen.hh"
+
+#include <unordered_map>
+
+#include "ir/builder.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+#include "synth/datapool.hh"
+#include "synth/wordpools.hh"
+
+namespace fits::synth {
+
+namespace {
+
+using ir::BinOp;
+using ir::FunctionBuilder;
+using ir::Operand;
+using ir::RegId;
+
+Operand
+tmp(ir::TmpId t)
+{
+    return Operand::ofTmp(t);
+}
+
+Operand
+imm(std::uint64_t v)
+{
+    return Operand::ofImm(v);
+}
+
+// Scratch registers used by generated bodies (r4..r12 are callee
+// "locals" under the guest convention).
+constexpr RegId kL0 = 4;
+constexpr RegId kL1 = 5;
+constexpr RegId kL2 = 6;
+constexpr RegId kL3 = 7;
+constexpr RegId kL4 = 8;
+constexpr RegId kL5 = 9;
+constexpr RegId kL6 = 10;
+
+// BSS layout of the network binary.
+constexpr ir::Addr kBssSize = 0x1800;
+constexpr ir::Addr kRecvBuf = bin::kBssBase;          // raw request
+constexpr ir::Addr kReqBuf = bin::kBssBase + 0x400;   // parsed request
+constexpr ir::Addr kCfgBuf = bin::kBssBase + 0x800;   // device config
+constexpr ir::Addr kSelector = bin::kBssBase + 0xc00; // request type
+constexpr ir::Addr kScratchBase = bin::kBssBase + 0x1000;
+
+/** A sink call recorded before layout is known. */
+struct LocalSite
+{
+    FunctionBuilder::BlockId block;
+    std::size_t stmt;
+    SiteClass cls;
+    FlowKind flow;
+    std::string sink;
+};
+
+class Gen
+{
+  public:
+    explicit Gen(const SampleSpec &spec)
+        : spec_(spec), rng_(spec.seed ^ 0x5109ddfca3f1e2b7ULL)
+    {
+    }
+
+    HttpdResult run();
+
+  private:
+    // ---- infrastructure -------------------------------------------
+    ir::Addr plt(const std::string &name);
+    ir::Addr place(FunctionBuilder &b,
+                   const std::vector<LocalSite> &sites = {});
+    ir::Addr scratchBuffer();
+    ir::Addr userKeyAddr(const std::string &key, bool viaDataSlot);
+
+    /** Emit a sink call consuming `value`; records the site. */
+    void emitSink(FunctionBuilder &b, const std::string &sinkName,
+                  Operand value, std::vector<LocalSite> &sites,
+                  SiteClass cls, FlowKind flow);
+
+    /** Wrap `value` in the class-specific guard pattern and sink it. */
+    void emitClassified(FunctionBuilder &b, Operand value,
+                        std::vector<LocalSite> &sites, SiteClass cls,
+                        FlowKind flow);
+
+    void emitErrorCall(FunctionBuilder &b);
+    std::string pickSinkName(bool commandOk = true);
+
+    // ---- function builders ----------------------------------------
+    ir::Addr buildEscapeFn();
+    ir::Addr buildErrorPrinter();
+    ir::Addr buildNvramGetter(double similarity);
+    ir::Addr buildStrongConfounder();
+    ir::Addr buildLogFormatter();
+    ir::Addr buildItsGetter();
+    ir::Addr buildChain(int depth, SiteClass cls, FlowKind flow);
+    ir::Addr buildHandler(SiteClass cls, FlowKind flow);
+    ir::Addr buildScanHandler(SiteClass cls);
+    ir::Addr buildIndirectHandler(SiteClass cls);
+    ir::Addr buildBenignHandler();
+    ir::Addr buildDispatcher(const std::vector<ir::Addr> &handlers,
+                             const std::vector<ir::Addr> &indirect);
+    ir::Addr buildParseRequest();
+    ir::Addr buildRecvLoop(ir::Addr parse, ir::Addr dispatcher);
+    ir::Addr buildPassThrough(ir::Addr callee, int extraBranches);
+    ir::Addr buildFiller();
+
+    const SampleSpec &spec_;
+    support::Rng rng_;
+    bin::BinaryImage image_;
+    GroundTruth truth_;
+    RodataPool rodata_;
+    DataPool data_;
+    ir::Addr cursor_ = bin::kTextBase;
+    ir::Addr scratchCursor_ = kScratchBase;
+    std::unordered_map<std::string, ir::Addr> pltCache_;
+
+    ir::Addr escapeFn_ = 0;
+    std::vector<ir::Addr> errorPrinters_;
+    std::vector<ir::Addr> logFormatters_;
+    std::vector<ir::Addr> nvramGetters_;
+    ir::Addr itsGetter_ = 0;
+    ir::Addr nvramTable_ = 0;
+    std::vector<ir::Addr> fillers_;
+    std::size_t nextUserKey_ = 0;
+    std::size_t nextErrorMsg_ = 0;
+    /** Entry -> plausible symbol name (used in vendor mode). */
+    std::unordered_map<ir::Addr, std::string> names_;
+
+    void
+    tag(ir::Addr entry, std::string name)
+    {
+        names_[entry] = std::move(name);
+    }
+};
+
+ir::Addr
+Gen::plt(const std::string &name)
+{
+    auto it = pltCache_.find(name);
+    if (it != pltCache_.end())
+        return it->second;
+    const ir::Addr addr = image_.addImport(name, "libc.so");
+    pltCache_[name] = addr;
+    return addr;
+}
+
+ir::Addr
+Gen::place(FunctionBuilder &b, const std::vector<LocalSite> &sites)
+{
+    ir::Function fn = b.build(cursor_);
+    const ir::Addr entry = fn.entry;
+    for (const auto &site : sites) {
+        SinkSite record;
+        record.addr = fn.blocks[site.block].stmtAddr(site.stmt);
+        record.cls = site.cls;
+        record.flow = site.flow;
+        record.sinkName = site.sink;
+        truth_.sinkSites.push_back(std::move(record));
+    }
+    cursor_ += fn.byteSize() + ir::kStmtSize;
+    image_.program.addFunction(std::move(fn));
+    return entry;
+}
+
+ir::Addr
+Gen::scratchBuffer()
+{
+    const ir::Addr addr = scratchCursor_;
+    scratchCursor_ += 0x40;
+    if (scratchCursor_ >= bin::kBssBase + kBssSize)
+        scratchCursor_ = kScratchBase; // reuse; only identity matters
+    return addr;
+}
+
+ir::Addr
+Gen::userKeyAddr(const std::string &key, bool viaDataSlot)
+{
+    const ir::Addr str = rodata_.intern(key);
+    if (!viaDataSlot)
+        return str;
+    // GOT-style indirection: the argument points into .data, and the
+    // slot holds the pointer to the string (the paper's PT -> MT case).
+    return data_.addWord(str);
+}
+
+void
+Gen::emitSink(FunctionBuilder &b, const std::string &sinkName,
+              Operand value, std::vector<LocalSite> &sites,
+              SiteClass cls, FlowKind flow)
+{
+    if (sinkName == "system" || sinkName == "popen") {
+        b.setArg(0, value);
+    } else if (sinkName == "sprintf") {
+        b.setArg(0, imm(scratchBuffer()));
+        b.setArg(1, imm(rodata_.intern(
+                      rng_.pick(formatStrings()))));
+        b.setArg(2, value);
+    } else if (sinkName == "strncpy" || sinkName == "strncat" ||
+               sinkName == "memcpy") {
+        b.setArg(0, imm(scratchBuffer()));
+        b.setArg(1, value);
+        b.setArg(2, imm(64));
+    } else { // strcpy / strcat
+        b.setArg(0, imm(scratchBuffer()));
+        b.setArg(1, value);
+    }
+    sites.push_back({b.currentBlock(), b.nextStmtIndex(), cls, flow,
+                     sinkName});
+    b.call(plt(sinkName));
+}
+
+void
+Gen::emitClassified(FunctionBuilder &b, Operand value,
+                    std::vector<LocalSite> &sites, SiteClass cls,
+                    FlowKind flow)
+{
+    const std::string sink =
+        pickSinkName(cls == SiteClass::RealBug);
+
+    switch (cls) {
+      case SiteClass::RealBug:
+      case SiteClass::SystemData:
+        emitSink(b, sink, value, sites, cls, flow);
+        break;
+
+      case SiteClass::BoundsChecked: {
+        // len = strlen(v); if (len < 64) copy(v);
+        b.setArg(0, value);
+        b.call(plt("strlen"));
+        auto len = b.retVal();
+        auto inRange = b.binop(BinOp::CmpLt, tmp(len), imm(64));
+        auto copyBlk = b.newBlock();
+        auto outBlk = b.newBlock();
+        b.branch(tmp(inRange), copyBlk);
+        emitErrorCall(b);
+        b.jump(outBlk);
+        b.switchTo(copyBlk);
+        emitSink(b, sink, value, sites, cls, flow);
+        b.jump(outBlk);
+        b.switchTo(outBlk);
+        break;
+      }
+
+      case SiteClass::DeadGuard: {
+        // if (DEBUG) copy(v); — DEBUG is the constant 0.
+        auto flag = b.cnst(0);
+        auto deadBlk = b.newBlock();
+        auto outBlk = b.newBlock();
+        b.branch(tmp(flag), deadBlk);
+        b.jump(outBlk);
+        b.switchTo(deadBlk);
+        emitSink(b, sink, value, sites, cls, flow);
+        b.jump(outBlk);
+        b.switchTo(outBlk);
+        break;
+      }
+
+      case SiteClass::Escaped: {
+        b.setArg(0, value);
+        b.call(escapeFn_);
+        auto escaped = b.retVal();
+        emitSink(b, sink, tmp(escaped), sites, cls, flow);
+        break;
+      }
+    }
+}
+
+void
+Gen::emitErrorCall(FunctionBuilder &b)
+{
+    if (errorPrinters_.empty())
+        return;
+    const std::string &msg =
+        errorMessages()[nextErrorMsg_++ % errorMessages().size()];
+    // Distinct per-call-site strings: append a deterministic code so
+    // printers accumulate many distinct strings (feature 11).
+    const std::string unique =
+        msg + support::format(" (#%u)",
+                              static_cast<unsigned>(nextErrorMsg_));
+    b.setArg(0, imm(rodata_.intern(unique)));
+    b.setArg(1, imm(rng_.uniformInt(0, 7)));
+    b.call(rng_.pick(errorPrinters_));
+}
+
+std::string
+Gen::pickSinkName(bool commandOk)
+{
+    static const std::vector<std::string> overflow = {
+        "sprintf", "strcpy", "strncpy", "strcat", "strncat",
+    };
+    static const std::vector<std::string> command = {"system",
+                                                     "popen"};
+    if (commandOk && rng_.chance(0.2))
+        return rng_.pick(command);
+    return rng_.pick(overflow);
+}
+
+// ---- leaf / support functions --------------------------------------
+
+ir::Addr
+Gen::buildEscapeFn()
+{
+    FunctionBuilder b;
+    auto header = b.newBlock();
+    auto replace = b.newBlock();
+    auto step = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kL0, tmp(b.get(ir::kRegR0))); // cursor
+    b.put(kL1, tmp(b.get(ir::kRegR0))); // original pointer
+    b.jump(header);
+
+    b.switchTo(header);
+    auto c = b.load(tmp(b.get(kL0)));
+    auto end = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(end), exit);
+    auto bad = b.binop(BinOp::CmpEq, tmp(c), imm(';'));
+    b.branch(tmp(bad), replace);
+    b.jump(step);
+
+    b.switchTo(replace);
+    b.store(tmp(b.get(kL0)), imm('_'));
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kL0, tmp(b.binop(BinOp::Add, tmp(b.get(kL0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, tmp(b.get(kL1)));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildErrorPrinter()
+{
+    FunctionBuilder b;
+    auto severe = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kL0, tmp(b.get(ir::kRegR0))); // message
+    auto code = b.get(ir::kRegR1);
+    auto isSevere = b.binop(BinOp::CmpGt, tmp(code), imm(3));
+    b.branch(tmp(isSevere), severe);
+    b.setArg(0, imm(2)); // stderr
+    b.setArg(1, tmp(b.get(kL0)));
+    b.call(plt("fprintf"));
+    b.jump(exit);
+
+    b.switchTo(severe);
+    b.setArg(0, imm(2));
+    b.setArg(1, tmp(b.get(kL0)));
+    b.call(plt("fprintf"));
+    b.call(plt("syslog"));
+    b.jump(exit);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildNvramGetter(double similarity)
+{
+    FunctionBuilder b;
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto step = b.newBlock();
+    auto found = b.newBlock();
+    auto notFound = b.newBlock();
+
+    // Precondition checks add blocks, like the ITS getter's format
+    // validation.
+    auto key = b.get(ir::kRegR0);
+    b.put(kL1, tmp(key));
+    auto nullKey = b.binop(BinOp::CmpEq, tmp(key), imm(0));
+    b.branch(tmp(nullKey), notFound);
+    b.put(kL0, imm(0)); // index
+    b.jump(header);
+
+    b.switchTo(header);
+    auto limit = b.binop(BinOp::CmpGe, tmp(b.get(kL0)), imm(16));
+    b.branch(tmp(limit), notFound);
+    b.jump(body);
+
+    b.switchTo(body);
+    auto off = b.binop(BinOp::Mul, tmp(b.get(kL0)),
+                       imm(2 * bin::kPtrSize));
+    auto slot = b.binop(BinOp::Add, imm(nvramTable_), tmp(off));
+    b.put(kL2, tmp(slot));
+    auto keyPtr = b.load(tmp(slot));
+    auto endTable = b.binop(BinOp::CmpEq, tmp(keyPtr), imm(0));
+    b.branch(tmp(endTable), notFound);
+    b.setArg(0, tmp(b.get(kL1)));
+    b.setArg(1, tmp(keyPtr));
+    b.call(plt("strcmp"));
+    auto cmp = b.retVal();
+    auto match = b.binop(BinOp::CmpEq, tmp(cmp), imm(0));
+    b.branch(tmp(match), found);
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kL0, tmp(b.binop(BinOp::Add, tmp(b.get(kL0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(found);
+    auto valSlot = b.binop(BinOp::Add, tmp(b.get(kL2)),
+                           imm(bin::kPtrSize));
+    auto valPtr = b.load(tmp(valSlot));
+    b.put(kL3, tmp(valPtr));
+    if (rng_.chance(similarity)) {
+        // Copy-out variant: behaviourally very close to the ITS
+        // (strlen + malloc + memcpy on the fetched value).
+        b.setArg(0, tmp(b.get(kL3)));
+        b.call(plt("strlen"));
+        auto len = b.retVal();
+        b.put(kL4, tmp(b.binop(BinOp::Add, tmp(len), imm(1))));
+        b.setArg(0, tmp(b.get(kL4)));
+        b.call(plt("malloc"));
+        auto buf = b.retVal();
+        b.put(kL5, tmp(buf));
+        b.setArg(0, tmp(b.get(kL5)));
+        b.setArg(1, tmp(b.get(kL3)));
+        b.setArg(2, tmp(b.get(kL4)));
+        b.call(plt("memcpy"));
+        b.put(ir::kRetReg, tmp(b.get(kL5)));
+    } else {
+        b.put(ir::kRetReg, tmp(b.get(kL3)));
+    }
+    b.ret();
+
+    b.switchTo(notFound);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildStrongConfounder()
+{
+    // A config getter whose *behaviour profile* matches the ITS: the
+    // scan loop is bounded by a parameter, the key parameter feeds
+    // anchor calls, and the fetched value is copied out. Samples where
+    // this variant exists are the ones whose true ITS ranks 2nd/3rd
+    // (the paper's top-1-vs-top-3 gap).
+    FunctionBuilder b;
+    auto checkLimit = b.newBlock();
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto step = b.newBlock();
+    auto found = b.newBlock();
+    auto notFound = b.newBlock();
+
+    auto key = b.get(ir::kRegR0);
+    b.put(kL1, tmp(key));
+    b.put(kL3, tmp(b.get(ir::kRegR1))); // default value (parameter)
+    b.put(kL4, tmp(b.get(ir::kRegR2))); // max entries (parameter)
+    auto nullKey = b.binop(BinOp::CmpEq, tmp(key), imm(0));
+    b.branch(tmp(nullKey), notFound);
+    b.jump(checkLimit);
+
+    b.switchTo(checkLimit);
+    auto badLimit = b.binop(BinOp::CmpLe, tmp(b.get(kL4)), imm(0));
+    b.branch(tmp(badLimit), notFound);
+    b.setArg(0, tmp(b.get(kL1)));
+    b.call(plt("strlen"));
+    b.put(kL6, tmp(b.retVal()));
+    b.put(kL0, imm(0));
+    b.jump(header);
+
+    b.switchTo(header);
+    // Loop bound is the parameter: "params control loops" holds, as
+    // it does for the true ITS and the anchor implementations.
+    auto limit = b.binop(BinOp::CmpGe, tmp(b.get(kL0)),
+                         tmp(b.get(kL4)));
+    b.branch(tmp(limit), notFound);
+    b.jump(body);
+
+    b.switchTo(body);
+    auto off = b.binop(BinOp::Mul, tmp(b.get(kL0)),
+                       imm(2 * bin::kPtrSize));
+    auto slot = b.binop(BinOp::Add, imm(nvramTable_), tmp(off));
+    b.put(kL2, tmp(slot));
+    auto keyPtr = b.load(tmp(slot));
+    auto endTable = b.binop(BinOp::CmpEq, tmp(keyPtr), imm(0));
+    b.branch(tmp(endTable), notFound);
+    b.setArg(0, tmp(b.get(kL1)));
+    b.setArg(1, tmp(keyPtr));
+    b.setArg(2, tmp(b.get(kL6)));
+    b.call(plt("strncmp"));
+    auto cmp = b.retVal();
+    auto match = b.binop(BinOp::CmpEq, tmp(cmp), imm(0));
+    b.branch(tmp(match), found);
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kL0, tmp(b.binop(BinOp::Add, tmp(b.get(kL0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(found);
+    auto valSlot = b.binop(BinOp::Add, tmp(b.get(kL2)),
+                           imm(bin::kPtrSize));
+    auto valPtr = b.load(tmp(valSlot));
+    b.put(kL3, tmp(valPtr));
+    b.setArg(0, tmp(b.get(kL3)));
+    b.call(plt("strlen"));
+    auto len = b.retVal();
+    b.put(kL5, tmp(b.binop(BinOp::Add, tmp(len), imm(1))));
+    b.setArg(0, tmp(b.get(kL5)));
+    b.call(plt("malloc"));
+    auto buf = b.retVal();
+    b.put(kL2, tmp(buf));
+    b.setArg(0, tmp(b.get(kL2)));
+    b.setArg(1, tmp(b.get(kL3)));
+    b.setArg(2, tmp(b.get(kL5)));
+    b.call(plt("memcpy"));
+    b.setArg(0, tmp(b.get(kL2)));
+    b.setArg(1, imm('='));
+    b.call(plt("strchr"));
+    auto sep = b.retVal();
+    auto hasSep = b.binop(BinOp::CmpNe, tmp(sep), imm(0));
+    auto trimBlk = b.newBlock();
+    auto retBlk = b.newBlock();
+    b.branch(tmp(hasSep), trimBlk);
+    b.jump(retBlk);
+    b.switchTo(trimBlk);
+    b.store(tmp(sep), imm(0)); // cut the value at the separator
+    b.jump(retBlk);
+    b.switchTo(retBlk);
+    b.put(ir::kRetReg, tmp(b.get(kL2)));
+    b.ret();
+
+    b.switchTo(notFound);
+    b.put(ir::kRetReg, tmp(b.get(kL3)));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildLogFormatter()
+{
+    // A printf-style formatter: behaviourally very close to the ITS
+    // (parameter-bounded scan loop, anchor calls on the parameter,
+    // string call-site arguments) *except* that it is called from
+    // everywhere — removing the number-of-callers feature (CF-3) is
+    // what lets it overtake the true ITS.
+    FunctionBuilder b;
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto spec = b.newBlock();
+    auto step = b.newBlock();
+    auto exit = b.newBlock();
+
+    auto fmt = b.get(ir::kRegR0);
+    b.put(kL1, tmp(fmt));
+    auto nullFmt = b.binop(BinOp::CmpEq, tmp(fmt), imm(0));
+    b.branch(tmp(nullFmt), exit);
+    b.setArg(0, tmp(b.get(kL1)));
+    b.call(plt("strlen"));
+    b.put(kL4, tmp(b.retVal()));
+    b.put(kL0, imm(0));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto atEnd = b.binop(BinOp::CmpGe, tmp(b.get(kL0)),
+                         tmp(b.get(kL4)));
+    b.branch(tmp(atEnd), exit);
+    b.jump(body);
+
+    b.switchTo(body);
+    auto cell = b.binop(BinOp::Add, tmp(b.get(kL1)),
+                        tmp(b.get(kL0)));
+    auto c = b.load(tmp(cell));
+    auto isSpec = b.binop(BinOp::CmpEq, tmp(c), imm('%'));
+    b.branch(tmp(isSpec), spec);
+    b.jump(step);
+
+    b.switchTo(spec);
+    b.setArg(0, tmp(b.get(kL1)));
+    b.setArg(1, imm('s'));
+    b.call(plt("strchr"));
+    // Format into the log buffer: the same anchor-call profile as a
+    // field getter (strncpy/strcat of parameter-derived data).
+    b.setArg(0, imm(kScratchBase));
+    b.setArg(1, tmp(b.get(kL1)));
+    b.setArg(2, imm(64));
+    b.call(plt("strncpy"));
+    b.setArg(0, imm(kScratchBase));
+    auto tail = b.binop(BinOp::Add, tmp(b.get(kL1)),
+                        tmp(b.get(kL0)));
+    b.setArg(1, tmp(tail));
+    b.call(plt("strcat"));
+    b.setArg(0, imm(2));
+    b.setArg(1, tmp(b.get(kL1)));
+    b.call(plt("fprintf"));
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kL0, tmp(b.binop(BinOp::Add, tmp(b.get(kL0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildItsGetter()
+{
+    // char *getter(char *key, char *src, int len) — Figure 1b.
+    FunctionBuilder b;
+    auto checkLen = b.newBlock();
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto step = b.newBlock();
+    auto found = b.newBlock();
+    auto alloc = b.newBlock();
+    auto fail = b.newBlock();
+    auto notFound = b.newBlock();
+
+    auto checkSrc = b.newBlock();
+    auto checkCap = b.newBlock();
+    auto checkFirst = b.newBlock();
+    auto key = b.get(ir::kRegR0);
+    b.put(kL1, tmp(key));                  // key
+    b.put(kL2, tmp(b.get(ir::kRegR1)));    // src
+    b.put(kL3, tmp(b.get(ir::kRegR2)));    // len
+    // Format validation preamble (the paper's fn16 runs to ~17 basic
+    // blocks; real getters validate every input).
+    auto nullKey = b.binop(BinOp::CmpEq, tmp(key), imm(0));
+    b.branch(tmp(nullKey), notFound);
+    b.jump(checkSrc);
+
+    b.switchTo(checkSrc);
+    auto nullSrc = b.binop(BinOp::CmpEq, tmp(b.get(kL2)), imm(0));
+    b.branch(tmp(nullSrc), notFound);
+    b.jump(checkCap);
+
+    b.switchTo(checkCap);
+    auto tooBig = b.binop(BinOp::CmpGt, tmp(b.get(kL3)), imm(1024));
+    b.branch(tmp(tooBig), notFound);
+    b.jump(checkFirst);
+
+    b.switchTo(checkFirst);
+    auto first = b.load(tmp(b.get(kL2)));
+    auto emptySrc = b.binop(BinOp::CmpEq, tmp(first), imm(0));
+    b.branch(tmp(emptySrc), notFound);
+    b.jump(checkLen);
+
+    b.switchTo(checkLen);
+    auto badLen = b.binop(BinOp::CmpLe, tmp(b.get(kL3)), imm(0));
+    b.branch(tmp(badLen), notFound);
+    b.setArg(0, tmp(b.get(kL1)));
+    b.call(plt("strlen"));
+    b.put(kL4, tmp(b.retVal())); // v1 = strlen(key)
+    b.put(kL0, imm(0));          // i
+    b.jump(header);
+
+    b.switchTo(header);
+    auto atEnd = b.binop(BinOp::CmpGe, tmp(b.get(kL0)),
+                         tmp(b.get(kL3)));
+    b.branch(tmp(atEnd), notFound);
+    b.jump(body);
+
+    b.switchTo(body);
+    auto cell = b.binop(BinOp::Add, tmp(b.get(kL2)),
+                        tmp(b.get(kL0)));
+    auto c = b.load(tmp(cell));
+    auto endOfData = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(endOfData), fail);
+    b.setArg(0, tmp(b.get(kL1)));
+    auto cell2 = b.binop(BinOp::Add, tmp(b.get(kL2)),
+                         tmp(b.get(kL0)));
+    b.setArg(1, tmp(cell2));
+    b.setArg(2, tmp(b.get(kL4)));
+    b.call(plt("strncmp"));
+    auto cmp = b.retVal();
+    auto matched = b.binop(BinOp::CmpEq, tmp(cmp), imm(0));
+    b.branch(tmp(matched), found);
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kL0, tmp(b.binop(BinOp::Add, tmp(b.get(kL0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(found);
+    auto hit = b.binop(BinOp::Add, tmp(b.get(kL2)), tmp(b.get(kL0)));
+    b.put(kL5, tmp(hit));
+    b.setArg(0, tmp(b.get(kL5)));
+    b.call(plt("strlen"));
+    b.put(kL6, tmp(b.retVal())); // v2 = strlen(src + i)
+    b.jump(alloc);
+
+    b.switchTo(alloc);
+    auto size = b.binop(BinOp::Add, tmp(b.get(kL4)),
+                        tmp(b.get(kL6)));
+    auto sizep = b.binop(BinOp::Add, tmp(size), imm(1));
+    b.setArg(0, tmp(sizep));
+    b.call(plt("malloc"));
+    auto buf = b.retVal();
+    b.put(kL2, tmp(buf)); // reuse: v3
+    auto noMem = b.binop(BinOp::CmpEq, tmp(buf), imm(0));
+    b.branch(tmp(noMem), fail);
+    b.setArg(0, tmp(b.get(kL2)));
+    b.setArg(1, tmp(b.get(kL1)));
+    b.setArg(2, tmp(b.get(kL4)));
+    b.call(plt("memcpy"));
+    auto dst2 = b.binop(BinOp::Add, tmp(b.get(kL2)),
+                        tmp(b.get(kL4)));
+    b.setArg(0, tmp(dst2));
+    b.setArg(1, tmp(b.get(kL5)));
+    b.setArg(2, tmp(b.get(kL6)));
+    b.call(plt("memcpy"));
+    b.put(ir::kRetReg, tmp(b.get(kL2)));
+    b.ret();
+
+    b.switchTo(fail);
+    b.put(ir::kRetReg, imm(0xffffffff));
+    b.ret();
+
+    b.switchTo(notFound);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildChain(int depth, SiteClass cls, FlowKind flow)
+{
+    // Innermost function holds the sink; each wrapper forwards its
+    // first argument.
+    std::vector<LocalSite> sites;
+    FunctionBuilder leaf;
+    {
+        auto v = leaf.get(ir::kRegR0);
+        leaf.put(kL0, tmp(v));
+        emitClassified(leaf, tmp(leaf.get(kL0)), sites, cls, flow);
+        leaf.put(ir::kRetReg, imm(0));
+        leaf.ret();
+    }
+    ir::Addr callee = place(leaf, sites);
+
+    for (int d = 1; d < depth; ++d) {
+        FunctionBuilder b;
+        auto v = b.get(ir::kRegR0);
+        b.put(kL0, tmp(v));
+        // A little realism: branch on an unrelated config word.
+        auto cfg = b.load(imm(kCfgBuf));
+        auto skip = b.binop(BinOp::CmpEq, tmp(cfg), imm(0x7f));
+        auto out = b.newBlock();
+        auto cont = b.newBlock();
+        b.branch(tmp(skip), out);
+        b.jump(cont);
+        b.switchTo(cont);
+        b.setArg(0, tmp(b.get(kL0)));
+        b.call(callee);
+        b.jump(out);
+        b.switchTo(out);
+        b.put(ir::kRetReg, imm(0));
+        b.ret();
+        callee = place(b);
+    }
+    return callee;
+}
+
+ir::Addr
+Gen::buildHandler(SiteClass cls, FlowKind flow)
+{
+    std::vector<LocalSite> sites;
+    FunctionBuilder b;
+
+    Operand value;
+    switch (flow) {
+      case FlowKind::DirectGlobal: {
+        const ir::Addr off =
+            static_cast<ir::Addr>(rng_.uniformInt(0, 15)) * 4;
+        auto v = b.load(imm(kReqBuf + off));
+        b.put(kL0, tmp(v));
+        value = tmp(b.get(kL0));
+        break;
+      }
+      case FlowKind::ItsFetch:
+      case FlowKind::ItsDeepChain: {
+        if (cls == SiteClass::SystemData) {
+            // Config data fetched *through the ITS getter*: the
+            // false-positive class the string filter removes.
+            const std::string &key = rng_.pick(systemConfigKeys());
+            b.setArg(0, imm(rodata_.intern(key)));
+            b.setArg(1, imm(kCfgBuf));
+        } else {
+            const std::string &key =
+                userDataKeys()[nextUserKey_++ %
+                               userDataKeys().size()];
+            const bool viaSlot = rng_.chance(0.3);
+            b.setArg(0, imm(userKeyAddr(key, viaSlot)));
+            b.setArg(1, imm(kReqBuf));
+        }
+        b.setArg(2, imm(64));
+        b.call(itsGetter_);
+        b.put(kL0, tmp(b.retVal()));
+        value = tmp(b.get(kL0));
+        break;
+      }
+      case FlowKind::ConfigOnly: {
+        const std::string &key = rng_.pick(systemConfigKeys());
+        b.setArg(0, imm(rodata_.intern(key)));
+        b.setArg(1, imm(rodata_.intern("0.0.0.0")));
+        b.setArg(2, imm(16));
+        b.call(rng_.pick(nvramGetters_));
+        b.put(kL0, tmp(b.retVal()));
+        value = tmp(b.get(kL0));
+        break;
+      }
+      default: {
+        // Remaining flows read a config word (never tainted).
+        auto v = b.load(imm(kCfgBuf + 8));
+        b.put(kL0, tmp(v));
+        value = tmp(b.get(kL0));
+        break;
+      }
+    }
+
+    if (flow == FlowKind::ItsDeepChain) {
+        const int depth =
+            4 + static_cast<int>(rng_.uniformInt(0, 2));
+        const ir::Addr chain = buildChain(depth, cls, flow);
+        // buildChain placed functions; this builder's layout cursor
+        // is still pending, which is fine: place() assigns the entry
+        // when the handler itself is finished.
+        b.setArg(0, value);
+        b.call(chain);
+        b.put(ir::kRetReg, imm(0));
+        b.ret();
+        return place(b, sites);
+    }
+
+    emitClassified(b, value, sites, cls, flow);
+    if (rng_.chance(0.4))
+        emitErrorCall(b);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b, sites);
+}
+
+ir::Addr
+Gen::buildScanHandler(SiteClass cls)
+{
+    std::vector<LocalSite> sites;
+    FunctionBuilder b;
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto after = b.newBlock();
+    auto exit = b.newBlock();
+
+    // First-byte probe at a constant address: this is what lets the
+    // path-based engine discover the function as a data-flow root; the
+    // probed value itself never reaches the sink.
+    auto probe = b.load(imm(kReqBuf));
+    auto empty = b.binop(BinOp::CmpEq, tmp(probe), imm(0));
+    b.branch(tmp(empty), exit);
+    b.put(kL0, imm(0)); // i
+    b.put(kL1, imm(0)); // last seen token pointer
+    b.jump(header);
+
+    b.switchTo(header);
+    auto limit = b.binop(BinOp::CmpGe, tmp(b.get(kL0)), imm(32));
+    b.branch(tmp(limit), after);
+    b.jump(body);
+
+    b.switchTo(body);
+    auto cell = b.binop(BinOp::Add, imm(kReqBuf), tmp(b.get(kL0)));
+    auto c = b.load(tmp(cell));
+    auto end = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(end), after);
+    b.put(kL1, tmp(c)); // last token value, not the pointer
+    b.put(kL0, tmp(b.binop(BinOp::Add, tmp(b.get(kL0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(after);
+    emitClassified(b, tmp(b.get(kL1)), sites, cls,
+                   FlowKind::ScanLoop);
+    b.jump(exit);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b, sites);
+}
+
+ir::Addr
+Gen::buildIndirectHandler(SiteClass cls)
+{
+    // Receives tainted data as its first parameter; only reachable
+    // through the handler table.
+    std::vector<LocalSite> sites;
+    FunctionBuilder b;
+    auto v = b.get(ir::kRegR0);
+    b.put(kL0, tmp(v));
+    emitClassified(b, tmp(b.get(kL0)), sites, cls,
+                   FlowKind::IndirectParam);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b, sites);
+}
+
+ir::Addr
+Gen::buildBenignHandler()
+{
+    FunctionBuilder b;
+    auto v = b.load(imm(kCfgBuf + 4));
+    auto zero = b.binop(BinOp::CmpEq, tmp(v), imm(0));
+    auto exit = b.newBlock();
+    b.branch(tmp(zero), exit);
+    emitErrorCall(b);
+    b.jump(exit);
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildDispatcher(const std::vector<ir::Addr> &handlers,
+                     const std::vector<ir::Addr> &indirect)
+{
+    // Indirect handler-table dispatch lives in its own routine: it
+    // loads tainted request fields (which makes it a data-flow root
+    // for the path-based engine), whereas the main dispatcher only
+    // reads the parser-derived selector.
+    ir::Addr ipcDispatcher = 0;
+    if (!indirect.empty()) {
+        // Handler table in .rodata so UCSE can resolve the targets.
+        const ir::Addr table = rodata_.reserveWords(indirect.size());
+        for (std::size_t i = 0; i < indirect.size(); ++i) {
+            rodata_.patchWord(table + i * bin::kPtrSize,
+                              indirect[i]);
+        }
+        FunctionBuilder ib;
+        for (std::size_t i = 0; i < indirect.size(); ++i) {
+            const ir::Addr off =
+                static_cast<ir::Addr>(rng_.uniformInt(0, 15)) * 4;
+            // Tainted request data crosses the indirect call as an
+            // argument — invisible to a name-based call graph.
+            auto v = ib.load(imm(kReqBuf + off));
+            ib.setArg(0, tmp(v));
+            auto target = ib.load(imm(table + i * bin::kPtrSize));
+            ib.callIndirect(tmp(target));
+        }
+        ib.put(ir::kRetReg, imm(0));
+        ib.ret();
+        ipcDispatcher = place(ib);
+    }
+
+    FunctionBuilder b;
+    auto sel = b.load(imm(kSelector));
+    b.put(kL0, tmp(sel));
+
+    auto join = b.newBlock();
+    for (std::size_t i = 0; i < handlers.size(); ++i) {
+        auto hit = b.binop(BinOp::CmpEq, tmp(b.get(kL0)),
+                           imm(i + 1));
+        auto callBlk = b.newBlock();
+        auto nextBlk = b.newBlock();
+        b.branch(tmp(hit), callBlk);
+        b.jump(nextBlk);
+        b.switchTo(callBlk);
+        b.call(handlers[i]);
+        b.jump(join);
+        b.switchTo(nextBlk);
+    }
+    if (ipcDispatcher != 0)
+        b.call(ipcDispatcher);
+    b.jump(join);
+
+    b.switchTo(join);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildParseRequest()
+{
+    FunctionBuilder b;
+    auto bad = b.newBlock();
+    auto copy = b.newBlock();
+    auto exit = b.newBlock();
+
+    // Format check on the first byte.
+    auto first = b.load(imm(kRecvBuf));
+    auto empty = b.binop(BinOp::CmpEq, tmp(first), imm(0));
+    b.branch(tmp(empty), bad);
+    b.jump(copy);
+
+    b.switchTo(copy);
+    // Fixed-offset header copy: raw buffer -> parsed request buffer.
+    for (ir::Addr off = 0; off < 64; off += 4) {
+        auto v = b.load(imm(kRecvBuf + off));
+        b.store(imm(kReqBuf + off), tmp(v));
+    }
+    // The request type selector is derived by the parser itself (a
+    // small constant), so dispatching is not input-tainted.
+    b.store(imm(kSelector), imm(1));
+    b.put(ir::kRetReg, imm(0));
+    b.jump(exit);
+
+    b.switchTo(bad);
+    emitErrorCall(b);
+    b.put(ir::kRetReg, imm(0xffffffff));
+    b.jump(exit);
+
+    b.switchTo(exit);
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildRecvLoop(ir::Addr parse, ir::Addr dispatcher)
+{
+    // Note the dispatcher is *not* called from here: as in Figure 1a,
+    // receiving (deep in the socket chain) and request handling are
+    // far apart in the call graph, connected only through the shared
+    // request buffer. The daemon main loop drives both.
+    (void)dispatcher;
+    FunctionBuilder b;
+    auto header = b.newBlock();
+    auto handle = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kL0, tmp(b.get(ir::kRegR0))); // socket fd
+    b.jump(header);
+
+    b.switchTo(header);
+    b.setArg(0, tmp(b.get(kL0)));
+    b.setArg(1, imm(kRecvBuf));
+    b.setArg(2, imm(1024));
+    b.call(plt("recv"));
+    auto n = b.retVal();
+    auto closed = b.binop(BinOp::CmpLe, tmp(n), imm(0));
+    b.branch(tmp(closed), exit);
+    b.jump(handle);
+
+    b.switchTo(handle);
+    b.call(parse);
+    auto parsed = b.retVal();
+    auto failed = b.binop(BinOp::CmpNe, tmp(parsed), imm(0));
+    b.branch(tmp(failed), header);
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildPassThrough(ir::Addr callee, int extraBranches)
+{
+    FunctionBuilder b;
+    auto exit = b.newBlock();
+    b.put(kL0, tmp(b.get(ir::kRegR0)));
+    for (int i = 0; i < extraBranches; ++i) {
+        auto cfg = b.load(imm(kCfgBuf + 8 + 4 * (i % 4)));
+        auto c = b.binop(BinOp::CmpEq, tmp(cfg),
+                         imm(rng_.uniformInt(1, 9)));
+        auto next = b.newBlock();
+        b.branch(tmp(c), exit);
+        b.jump(next);
+        b.switchTo(next);
+    }
+    b.setArg(0, tmp(b.get(kL0)));
+    b.call(callee);
+    b.jump(exit);
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return place(b);
+}
+
+ir::Addr
+Gen::buildFiller()
+{
+    FunctionBuilder b;
+    const int kind = static_cast<int>(rng_.uniformInt(0, 3));
+
+    switch (kind) {
+      case 0: { // arithmetic leaf with a parameter-driven branch
+        auto a = b.get(ir::kRegR0);
+        auto bb = b.get(ir::kRegR1);
+        auto sum = b.binop(BinOp::Add, tmp(a), tmp(bb));
+        auto big = b.binop(BinOp::CmpGt, tmp(sum), imm(255));
+        auto clampBlk = b.newBlock();
+        auto outBlk = b.newBlock();
+        b.put(kL0, tmp(sum));
+        b.branch(tmp(big), clampBlk);
+        b.jump(outBlk);
+        b.switchTo(clampBlk);
+        b.put(kL0, imm(255));
+        b.jump(outBlk);
+        b.switchTo(outBlk);
+        b.put(ir::kRetReg, tmp(b.get(kL0)));
+        b.ret();
+        break;
+      }
+      case 1: { // anchor user: compares a parameter against a keyword
+        if (!logFormatters_.empty() && rng_.chance(0.5)) {
+            b.setArg(0, imm(rodata_.intern(
+                          rng_.pick(formatStrings()))));
+            b.setArg(1, imm(rng_.uniformInt(0, 7)));
+            b.call(rng_.pick(logFormatters_));
+        }
+        auto s = b.get(ir::kRegR0);
+        b.put(kL0, tmp(s));
+        b.setArg(0, tmp(b.get(kL0)));
+        b.setArg(1, imm(rodata_.intern(rng_.pick(urlPaths()))));
+        b.call(plt("strcmp"));
+        auto r = b.retVal();
+        auto ne = b.binop(BinOp::CmpNe, tmp(r), imm(0));
+        auto errBlk = b.newBlock();
+        auto outBlk = b.newBlock();
+        b.branch(tmp(ne), errBlk);
+        b.jump(outBlk);
+        b.switchTo(errBlk);
+        emitErrorCall(b);
+        b.jump(outBlk);
+        b.switchTo(outBlk);
+        b.put(ir::kRetReg, imm(0));
+        b.ret();
+        break;
+      }
+      case 2: { // config user: reads NVRAM and formats it
+        if (!nvramGetters_.empty()) {
+            b.setArg(0, imm(rodata_.intern(
+                          rng_.pick(systemConfigKeys()))));
+            b.setArg(1, imm(rodata_.intern("0.0.0.0")));
+            b.setArg(2, imm(16));
+            b.call(rng_.pick(nvramGetters_));
+            auto v = b.retVal();
+            b.put(kL0, tmp(v));
+            b.setArg(0, imm(scratchBuffer()));
+            b.setArg(1, imm(rodata_.intern(
+                          rng_.pick(formatStrings()))));
+            b.setArg(2, tmp(b.get(kL0)));
+            b.call(plt("snprintf"));
+        }
+        b.put(ir::kRetReg, imm(0));
+        b.ret();
+        break;
+      }
+      default: { // wrapper around an earlier filler
+        if (!fillers_.empty()) {
+            auto a = b.get(ir::kRegR0);
+            b.setArg(0, tmp(a));
+            b.call(rng_.pick(fillers_));
+            if (rng_.chance(0.5))
+                emitErrorCall(b);
+        }
+        b.put(ir::kRetReg, imm(0));
+        b.ret();
+        break;
+      }
+    }
+    return place(b);
+}
+
+HttpdResult
+Gen::run()
+{
+    const VendorProfile &p = spec_.profile;
+    image_.name = p.binaryNames[rng_.index(p.binaryNames.size())];
+    image_.arch = p.arch;
+    image_.neededLibraries = {"libc.so"};
+
+    const bool structOffset =
+        spec_.failure == SampleSpec::FailureMode::StructOffset;
+    truth_.hasIts = !structOffset;
+
+    // Network imports so the PIE-style selector picks this binary.
+    plt("socket");
+    plt("bind");
+    plt("listen");
+    plt("accept");
+    plt("recv");
+    plt("select");
+    plt("htons");
+
+    // NVRAM key/value table in .data: keys point to .rodata, values to
+    // config strings in .rodata (writable slots in real firmware).
+    {
+        std::vector<std::pair<ir::Addr, ir::Addr>> entries;
+        for (const auto &key : systemConfigKeys()) {
+            const ir::Addr k = rodata_.intern(key);
+            const ir::Addr v = rodata_.intern(
+                configLines()[entries.size() % configLines().size()]);
+            entries.emplace_back(k, v);
+        }
+        nvramTable_ =
+            data_.reserveWords(2 * entries.size() + 2);
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            data_.patchWord(nvramTable_ + (2 * i) * bin::kPtrSize,
+                            entries[i].first);
+            data_.patchWord(nvramTable_ + (2 * i + 1) * bin::kPtrSize,
+                            entries[i].second);
+        }
+    }
+
+    // ---- leaf infrastructure ---------------------------------------
+    escapeFn_ = buildEscapeFn();
+    tag(escapeFn_, "escape_shell_arg");
+    for (int i = 0; i < p.numErrorPrinters; ++i) {
+        errorPrinters_.push_back(buildErrorPrinter());
+        tag(errorPrinters_.back(),
+            support::format("print_error_%d", i));
+    }
+    for (int i = 0; i < 2; ++i) {
+        logFormatters_.push_back(buildLogFormatter());
+        tag(logFormatters_.back(), support::format("log_format_%d", i));
+    }
+    for (int i = 0; i < p.numNvramConfounders; ++i) {
+        nvramGetters_.push_back(
+            buildNvramGetter(p.confounderItsSimilarity));
+        truth_.confounders.push_back(nvramGetters_.back());
+        tag(nvramGetters_.back(), support::format("nvram_get_%d", i));
+    }
+    // Strong (ITS-shaped) confounders: their count per sample is drawn
+    // from the vendor's weights and decides whether the true ITS lands
+    // at rank 1, 2, or 3. Unlike the weak getters they are reached
+    // from a handful of dedicated config routines, so their caller
+    // profile stays close to a field getter's in every vendor's
+    // binary size class.
+    {
+        const double draw = rng_.uniformReal();
+        const auto &w = p.strongConfounderWeights;
+        int strongCount = 0;
+        if (!structOffset) {
+            if (draw >= w[0] + w[1])
+                strongCount = 2;
+            else if (draw >= w[0])
+                strongCount = 1;
+        }
+        for (int i = 0; i < strongCount; ++i) {
+            const ir::Addr strong = buildStrongConfounder();
+            truth_.confounders.push_back(strong);
+            tag(strong, support::format("cfg_find_entry_%d", i));
+            const int callers =
+                6 + static_cast<int>(rng_.uniformInt(0, 4));
+            for (int c = 0; c < callers; ++c) {
+                FunctionBuilder b;
+                // A small fixed key set: the confounder's distinct-
+                // string count stays in the ITS's range.
+                b.setArg(0, imm(rodata_.intern(systemConfigKeys()[
+                              static_cast<std::size_t>(c) % 4])));
+                b.setArg(1, imm(rodata_.intern("0.0.0.0")));
+                b.setArg(2, imm(16));
+                b.call(strong);
+                auto v = b.retVal();
+                b.put(kL0, tmp(v));
+                b.setArg(0, imm(scratchBuffer()));
+                b.setArg(1, imm(rodata_.intern(
+                              rng_.pick(formatStrings()))));
+                b.setArg(2, tmp(b.get(kL0)));
+                b.call(plt("snprintf"));
+                b.put(ir::kRetReg, imm(0));
+                b.ret();
+                fillers_.push_back(place(b));
+            }
+        }
+    }
+    if (!structOffset) {
+        itsGetter_ = buildItsGetter();
+        truth_.itsFunctions.push_back(itsGetter_);
+        tag(itsGetter_, "websGetVar");
+    }
+
+    // ---- handlers with planted sites --------------------------------
+    std::vector<ir::Addr> handlers;
+    std::vector<ir::Addr> indirectHandlers;
+
+    // Plan the handler mix first, then build in shuffled order so the
+    // handler-address order (which is the engines' exploration order)
+    // does not correlate with the planted site class.
+    struct HandlerPlan
+    {
+        int type; // 0 generic, 1 deep-direct, 2 scan, 3 indirect
+        SiteClass cls;
+        FlowKind flow;
+    };
+    std::vector<HandlerPlan> plans;
+    auto plan = [&plans](int count, int type, SiteClass cls,
+                         FlowKind flow) {
+        for (int i = 0; i < count; ++i)
+            plans.push_back({type, cls, flow});
+    };
+
+    if (structOffset) {
+        // The simple-design variant: handlers read the request buffer
+        // at fixed offsets; there is no getter function at all.
+        plan(p.directBugs + p.itsFetchBugs, 0, SiteClass::RealBug,
+             FlowKind::DirectGlobal);
+        plan(p.boundsCheckedSites, 0, SiteClass::BoundsChecked,
+             FlowKind::DirectGlobal);
+    } else {
+        plan(p.directBugs, 0, SiteClass::RealBug,
+             FlowKind::DirectGlobal);
+        plan(p.itsFetchBugs, 0, SiteClass::RealBug,
+             FlowKind::ItsFetch);
+        plan(p.itsDeepBugs, 0, SiteClass::RealBug,
+             FlowKind::ItsDeepChain);
+        plan(p.systemDataSites, 0, SiteClass::SystemData,
+             FlowKind::ItsFetch);
+        plan(p.boundsCheckedSites, 0, SiteClass::BoundsChecked,
+             FlowKind::DirectGlobal);
+        plan(p.deadGuardSites, 0, SiteClass::DeadGuard,
+             FlowKind::DirectGlobal);
+        plan(p.escapedSites, 0, SiteClass::Escaped,
+             FlowKind::DirectGlobal);
+        plan(p.deepDirectBugs, 1, SiteClass::RealBug,
+             FlowKind::DirectGlobal);
+        plan(p.scanLoopBugs, 2, SiteClass::RealBug,
+             FlowKind::ScanLoop);
+        plan(p.indirectParamBugs, 3, SiteClass::RealBug,
+             FlowKind::IndirectParam);
+    }
+    rng_.shuffle(plans);
+
+    for (const auto &hp : plans) {
+        switch (hp.type) {
+          case 0:
+            handlers.push_back(buildHandler(hp.cls, hp.flow));
+            break;
+          case 1: {
+            // Deep chain on a direct-global flow: beyond the symbolic
+            // engine's depth budget, visible to the dataflow engine.
+            const ir::Addr chain = buildChain(
+                5 + static_cast<int>(rng_.uniformInt(0, 2)),
+                SiteClass::RealBug, FlowKind::DirectGlobal);
+            FunctionBuilder b;
+            auto v = b.load(imm(kReqBuf + 4));
+            b.setArg(0, tmp(v));
+            b.call(chain);
+            b.put(ir::kRetReg, imm(0));
+            b.ret();
+            handlers.push_back(place(b));
+            break;
+          }
+          case 2:
+            handlers.push_back(buildScanHandler(hp.cls));
+            break;
+          case 3:
+            indirectHandlers.push_back(buildIndirectHandler(hp.cls));
+            break;
+        }
+    }
+
+    // Benign handlers for realism.
+    const int benign = 2 + static_cast<int>(rng_.uniformInt(0, 3));
+    for (int i = 0; i < benign; ++i)
+        handlers.push_back(buildBenignHandler());
+    rng_.shuffle(handlers);
+
+    // ---- plumbing ----------------------------------------------------
+    const ir::Addr dispatcher =
+        buildDispatcher(handlers, indirectHandlers);
+    tag(dispatcher, "websDataHandlers");
+    const ir::Addr parse = buildParseRequest();
+    tag(parse, "websParseRequest");
+    const ir::Addr recvLoop = buildRecvLoop(parse, dispatcher);
+    tag(recvLoop, "websReadEvent");
+    for (std::size_t i = 0; i < handlers.size(); ++i)
+        tag(handlers[i], support::format("websFormHandler_%zu", i));
+
+    // Socket chain: main -> initWeb -> openServer -> ... -> recvLoop
+    // (the Figure 1a depth between the daemon entry and recv).
+    ir::Addr chainTop = recvLoop;
+    const int plumbing = 3 + static_cast<int>(rng_.uniformInt(0, 2));
+    for (int i = 0; i < plumbing; ++i)
+        chainTop = buildPassThrough(chainTop,
+                                    static_cast<int>(
+                                        rng_.uniformInt(0, 2)));
+    {
+        // main: daemon loop — open the socket, run the receive chain,
+        // then handle the parsed request.
+        FunctionBuilder b;
+        auto loop = b.newBlock();
+        b.setArg(0, imm(3));
+        b.call(plt("socket"));
+        b.put(kL0, tmp(b.retVal()));
+        b.jump(loop);
+        b.switchTo(loop);
+        b.setArg(0, tmp(b.get(kL0)));
+        b.call(chainTop);
+        b.call(dispatcher);
+        auto again = b.load(imm(kCfgBuf + 12));
+        auto stop = b.binop(BinOp::CmpEq, tmp(again), imm(0));
+        auto exit = b.newBlock();
+        b.branch(tmp(stop), exit);
+        b.jump(loop);
+        b.switchTo(exit);
+        b.put(ir::kRetReg, imm(0));
+        b.ret();
+        place(b);
+    }
+
+    // ---- fillers to reach the profile's function count --------------
+    const int target = static_cast<int>(
+        rng_.uniformInt(p.minCustomFns, p.maxCustomFns));
+    while (static_cast<int>(image_.program.size()) < target)
+        fillers_.push_back(buildFiller());
+
+    // ---- finalize sections ------------------------------------------
+    image_.sections.push_back(rodata_.finish());
+    image_.sections.push_back(data_.finish());
+    bin::Section bss;
+    bss.name = ".bss";
+    bss.addr = bin::kBssBase;
+    bss.flags = bin::kSecRead | bin::kSecWrite;
+    bss.bytes.assign(kBssSize, 0);
+    image_.sections.push_back(std::move(bss));
+
+    if (spec_.keepSymbols) {
+        // Vendor mode: keep plausible symbols (untagged functions get
+        // neutral IDA-style names).
+        for (auto &fn : image_.program.functions()) {
+            auto it = names_.find(fn.entry);
+            fn.name = it != names_.end()
+                          ? it->second
+                          : "sub_" + support::hex(fn.entry).substr(2);
+            image_.symbols.push_back({fn.entry, fn.name});
+        }
+    } else {
+        image_.strip();
+    }
+
+    HttpdResult result;
+    result.image = std::move(image_);
+    result.truth = std::move(truth_);
+    return result;
+}
+
+} // namespace
+
+HttpdResult
+generateHttpd(const SampleSpec &spec)
+{
+    Gen gen(spec);
+    return gen.run();
+}
+
+} // namespace fits::synth

@@ -1,0 +1,34 @@
+#ifndef FITS_SYNTH_HTTPD_GEN_HH_
+#define FITS_SYNTH_HTTPD_GEN_HH_
+
+#include "binary/image.hh"
+#include "synth/manifest.hh"
+#include "synth/profiles.hh"
+
+namespace fits::synth {
+
+/** A generated network binary plus its ground truth. */
+struct HttpdResult
+{
+    bin::BinaryImage image;
+    GroundTruth truth;
+};
+
+/**
+ * Generate the network-facing binary of one firmware sample: the full
+ * user-input pipeline of Figure 1a (socket chain -> recv -> parse ->
+ * dispatch -> handlers), a websGetVar-style ITS getter (Figure 1b),
+ * NVRAM-getter confounders, error printers, filler functions, and the
+ * planted sink sites whose classes (real bug / bounds-checked / dead
+ * guard / escaped / system data) and flow shapes (direct global load /
+ * scan loop / ITS fetch / deep chain / indirect param) drive the
+ * Table 5 and Table 6 engine differences.
+ *
+ * The result is stripped (no local symbols, no function names); only
+ * the dynamic import table keeps names, as in real firmware.
+ */
+HttpdResult generateHttpd(const SampleSpec &spec);
+
+} // namespace fits::synth
+
+#endif // FITS_SYNTH_HTTPD_GEN_HH_

@@ -1,0 +1,533 @@
+#include "libc_gen.hh"
+
+#include "ir/builder.hh"
+
+namespace fits::synth {
+
+namespace {
+
+using ir::BinOp;
+using ir::FunctionBuilder;
+using ir::Operand;
+using ir::RegId;
+
+constexpr RegId kP0 = 4; // callee-local scratch registers
+constexpr RegId kP1 = 5;
+constexpr RegId kP2 = 6;
+constexpr RegId kAcc = 7;
+
+Operand
+tmp(ir::TmpId t)
+{
+    return Operand::ofTmp(t);
+}
+
+Operand
+imm(std::uint64_t v)
+{
+    return Operand::ofImm(v);
+}
+
+/** size_t strlen(const char *s): count until the NUL byte. */
+ir::Function
+buildStrlen(ir::Addr entry)
+{
+    FunctionBuilder b("strlen");
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    // entry: p = s; n = 0
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kAcc, imm(0));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto c = b.load(tmp(b.get(kP0)));
+    auto isEnd = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(isEnd), exit);
+
+    b.switchTo(body);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kAcc, tmp(b.binop(BinOp::Add, tmp(b.get(kAcc)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, tmp(b.get(kAcc)));
+    b.ret();
+    return b.build(entry);
+}
+
+/** char *strcpy(char *dst, const char *src). */
+ir::Function
+buildStrcpy(ir::Addr entry)
+{
+    FunctionBuilder b("strcpy");
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto c = b.load(tmp(b.get(kP1)));
+    b.store(tmp(b.get(kP0)), tmp(c));
+    auto done = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(done), exit);
+
+    b.switchTo(body);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kP1, tmp(b.binop(BinOp::Add, tmp(b.get(kP1)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.ret(); // r0 still holds dst per convention
+    return b.build(entry);
+}
+
+/** char *strncpy(char *dst, const char *src, size_t n). */
+ir::Function
+buildStrncpy(ir::Addr entry)
+{
+    FunctionBuilder b("strncpy");
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    b.put(kP2, tmp(b.get(ir::kRegR2)));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto n = b.get(kP2);
+    auto done = b.binop(BinOp::CmpEq, tmp(n), imm(0));
+    b.branch(tmp(done), exit);
+
+    b.switchTo(body);
+    auto c = b.load(tmp(b.get(kP1)));
+    b.store(tmp(b.get(kP0)), tmp(c));
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kP1, tmp(b.binop(BinOp::Add, tmp(b.get(kP1)), imm(1))));
+    b.put(kP2, tmp(b.binop(BinOp::Sub, tmp(b.get(kP2)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.ret();
+    return b.build(entry);
+}
+
+/** int memcmp(const void *a, const void *b, size_t n). */
+ir::Function
+buildMemcmp(ir::Addr entry)
+{
+    FunctionBuilder b("memcmp");
+    auto header = b.newBlock();
+    auto check = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    b.put(kP2, tmp(b.get(ir::kRegR2)));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto done = b.binop(BinOp::CmpEq, tmp(b.get(kP2)), imm(0));
+    b.branch(tmp(done), exit);
+
+    b.switchTo(check);
+    auto ca = b.load(tmp(b.get(kP0)));
+    auto cb = b.load(tmp(b.get(kP1)));
+    auto ne = b.binop(BinOp::CmpNe, tmp(ca), tmp(cb));
+    b.branch(tmp(ne), exit);
+
+    b.switchTo(body);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kP1, tmp(b.binop(BinOp::Add, tmp(b.get(kP1)), imm(1))));
+    b.put(kP2, tmp(b.binop(BinOp::Sub, tmp(b.get(kP2)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    auto da = b.load(tmp(b.get(kP0)));
+    auto db = b.load(tmp(b.get(kP1)));
+    b.put(ir::kRetReg, tmp(b.binop(BinOp::Sub, tmp(da), tmp(db))));
+    b.ret();
+    return b.build(entry);
+}
+
+/** Shared shape for strcmp/strncmp (bounded flag switches the check). */
+ir::Function
+buildStrcmpLike(ir::Addr entry, const char *name, bool bounded)
+{
+    FunctionBuilder b(name);
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    if (bounded)
+        b.put(kP2, tmp(b.get(ir::kRegR2)));
+    b.jump(header);
+
+    b.switchTo(header);
+    if (bounded) {
+        auto done = b.binop(BinOp::CmpEq, tmp(b.get(kP2)), imm(0));
+        b.branch(tmp(done), exit);
+    }
+    auto ca = b.load(tmp(b.get(kP0)));
+    auto cb = b.load(tmp(b.get(kP1)));
+    auto diff = b.binop(BinOp::Sub, tmp(ca), tmp(cb));
+    b.put(kAcc, tmp(diff));
+    auto differs = b.binop(BinOp::CmpNe, tmp(diff), imm(0));
+    b.branch(tmp(differs), exit);
+
+    b.switchTo(body);
+    auto end = b.binop(BinOp::CmpEq, tmp(ca), imm(0));
+    b.branch(tmp(end), exit);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kP1, tmp(b.binop(BinOp::Add, tmp(b.get(kP1)), imm(1))));
+    if (bounded)
+        b.put(kP2, tmp(b.binop(BinOp::Sub, tmp(b.get(kP2)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, tmp(b.get(kAcc)));
+    b.ret();
+    return b.build(entry);
+}
+
+/** char *strstr(const char *hay, const char *needle): nested scan
+ * calling strlen (an anchor calling an anchor). */
+ir::Function
+buildStrstr(ir::Addr entry, ir::Addr strlenEntry)
+{
+    FunctionBuilder b("strstr");
+    auto outer = b.newBlock();
+    auto inner = b.newBlock();
+    auto innerStep = b.newBlock();
+    auto advance = b.newBlock();
+    auto found = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0))); // cp
+    b.put(kP1, tmp(b.get(ir::kRegR1))); // needle
+    b.setArg(0, tmp(b.get(kP1)));
+    b.call(strlenEntry);
+    b.put(kAcc, tmp(b.retVal())); // needle length (unused, realistic)
+    b.jump(outer);
+
+    b.switchTo(outer);
+    auto c = b.load(tmp(b.get(kP0)));
+    auto end = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(end), exit);
+
+    b.switchTo(inner);
+    b.put(kP2, imm(0)); // offset
+    b.jump(innerStep);
+
+    b.switchTo(innerStep);
+    auto s2 = b.binop(BinOp::Add, tmp(b.get(kP1)), tmp(b.get(kP2)));
+    auto c2 = b.load(tmp(s2));
+    auto matched = b.binop(BinOp::CmpEq, tmp(c2), imm(0));
+    b.branch(tmp(matched), found);
+    auto s1 = b.binop(BinOp::Add, tmp(b.get(kP0)), tmp(b.get(kP2)));
+    auto c1 = b.load(tmp(s1));
+    auto miss = b.binop(BinOp::CmpNe, tmp(c1), tmp(c2));
+    b.branch(tmp(miss), advance);
+    b.put(kP2, tmp(b.binop(BinOp::Add, tmp(b.get(kP2)), imm(1))));
+    b.jump(innerStep);
+
+    b.switchTo(advance);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.jump(outer);
+
+    b.switchTo(found);
+    b.put(ir::kRetReg, tmp(b.get(kP0)));
+    b.ret();
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return b.build(entry);
+}
+
+/** char *strchr(const char *s, int c) — or strrchr with a tail scan. */
+ir::Function
+buildStrchrLike(ir::Addr entry, const char *name)
+{
+    FunctionBuilder b(name);
+    auto header = b.newBlock();
+    auto match = b.newBlock();
+    auto step = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto c = b.load(tmp(b.get(kP0)));
+    auto eq = b.binop(BinOp::CmpEq, tmp(c), tmp(b.get(kP1)));
+    b.branch(tmp(eq), match);
+    auto end = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(end), exit);
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(match);
+    b.put(ir::kRetReg, tmp(b.get(kP0)));
+    b.ret();
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return b.build(entry);
+}
+
+/** void *memcpy(void *dst, const void *src, size_t n) (memmove gets an
+ * extra direction branch). */
+ir::Function
+buildMemcpyLike(ir::Addr entry, const char *name, bool directionCheck)
+{
+    FunctionBuilder b(name);
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    b.put(kP2, tmp(b.get(ir::kRegR2)));
+    if (directionCheck) {
+        auto overlap = b.binop(BinOp::CmpLt, tmp(b.get(kP0)),
+                               tmp(b.get(kP1)));
+        b.branch(tmp(overlap), header);
+    }
+    b.jump(header);
+
+    b.switchTo(header);
+    auto done = b.binop(BinOp::CmpEq, tmp(b.get(kP2)), imm(0));
+    b.branch(tmp(done), exit);
+
+    b.switchTo(body);
+    auto c = b.load(tmp(b.get(kP1)));
+    b.store(tmp(b.get(kP0)), tmp(c));
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kP1, tmp(b.binop(BinOp::Add, tmp(b.get(kP1)), imm(1))));
+    b.put(kP2, tmp(b.binop(BinOp::Sub, tmp(b.get(kP2)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.ret();
+    return b.build(entry);
+}
+
+/** void *memset(void *dst, int c, size_t n). */
+ir::Function
+buildMemset(ir::Addr entry)
+{
+    FunctionBuilder b("memset");
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kP1, tmp(b.get(ir::kRegR1)));
+    b.put(kP2, tmp(b.get(ir::kRegR2)));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto done = b.binop(BinOp::CmpEq, tmp(b.get(kP2)), imm(0));
+    b.branch(tmp(done), exit);
+
+    b.switchTo(body);
+    b.store(tmp(b.get(kP0)), tmp(b.get(kP1)));
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.put(kP2, tmp(b.binop(BinOp::Sub, tmp(b.get(kP2)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.ret();
+    return b.build(entry);
+}
+
+/** void *malloc(size_t n): bump allocator over a static arena. */
+ir::Function
+buildMalloc(ir::Addr entry, ir::Addr arenaPtrSlot)
+{
+    FunctionBuilder b("malloc");
+    auto cur = b.load(imm(arenaPtrSlot));
+    auto next = b.binop(BinOp::Add, tmp(cur), tmp(b.get(ir::kRegR0)));
+    b.store(imm(arenaPtrSlot), tmp(next));
+    b.put(ir::kRetReg, tmp(cur));
+    b.ret();
+    return b.build(entry);
+}
+
+/** char *strdup(const char *s): strlen + malloc + memcpy. */
+ir::Function
+buildStrdup(ir::Addr entry, ir::Addr strlenEntry, ir::Addr mallocEntry,
+            ir::Addr memcpyEntry)
+{
+    FunctionBuilder b("strdup");
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.setArg(0, tmp(b.get(kP0)));
+    b.call(strlenEntry);
+    auto len = b.retVal();
+    b.put(kAcc, tmp(b.binop(BinOp::Add, tmp(len), imm(1))));
+    b.setArg(0, tmp(b.get(kAcc)));
+    b.call(mallocEntry);
+    auto buf = b.retVal();
+    b.put(kP1, tmp(buf));
+    b.setArg(0, tmp(b.get(kP1)));
+    b.setArg(1, tmp(b.get(kP0)));
+    b.setArg(2, tmp(b.get(kAcc)));
+    b.call(memcpyEntry);
+    b.put(ir::kRetReg, tmp(b.get(kP1)));
+    b.ret();
+    return b.build(entry);
+}
+
+/** char *strtok(char *s, const char *delim) — simplified scan. */
+ir::Function
+buildStrtok(ir::Addr entry, ir::Addr stateSlot)
+{
+    FunctionBuilder b("strtok");
+    auto useArg = b.newBlock();
+    auto useState = b.newBlock();
+    auto header = b.newBlock();
+    auto hit = b.newBlock();
+    auto step = b.newBlock();
+    auto exit = b.newBlock();
+
+    auto s = b.get(ir::kRegR0);
+    auto isNull = b.binop(BinOp::CmpEq, tmp(s), imm(0));
+    b.branch(tmp(isNull), useState);
+    b.jump(useArg);
+
+    b.switchTo(useArg);
+    b.put(kP0, tmp(s));
+    b.jump(header);
+
+    b.switchTo(useState);
+    b.put(kP0, tmp(b.load(imm(stateSlot))));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto c = b.load(tmp(b.get(kP0)));
+    auto end = b.binop(BinOp::CmpEq, tmp(c), imm(0));
+    b.branch(tmp(end), exit);
+    auto dc = b.load(tmp(b.get(ir::kRegR1)));
+    auto eq = b.binop(BinOp::CmpEq, tmp(c), tmp(dc));
+    b.branch(tmp(eq), hit);
+    b.jump(step);
+
+    b.switchTo(step);
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(hit);
+    b.store(tmp(b.get(kP0)), imm(0));
+    auto nxt = b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1));
+    b.store(imm(stateSlot), tmp(nxt));
+    b.put(ir::kRetReg, tmp(b.get(kP0)));
+    b.ret();
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, imm(0));
+    b.ret();
+    return b.build(entry);
+}
+
+/** int atoi(const char *s): digit loop. */
+ir::Function
+buildAtoi(ir::Addr entry)
+{
+    FunctionBuilder b("atoi");
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+
+    b.put(kP0, tmp(b.get(ir::kRegR0)));
+    b.put(kAcc, imm(0));
+    b.jump(header);
+
+    b.switchTo(header);
+    auto c = b.load(tmp(b.get(kP0)));
+    auto lo = b.binop(BinOp::CmpLt, tmp(c), imm('0'));
+    b.branch(tmp(lo), exit);
+    auto hi = b.binop(BinOp::CmpGt, tmp(c), imm('9'));
+    b.branch(tmp(hi), exit);
+    b.jump(body);
+
+    b.switchTo(body);
+    auto ten = b.binop(BinOp::Mul, tmp(b.get(kAcc)), imm(10));
+    auto digitBase = b.load(tmp(b.get(kP0)));
+    auto digit = b.binop(BinOp::Sub, tmp(digitBase), imm('0'));
+    b.put(kAcc, tmp(b.binop(BinOp::Add, tmp(ten), tmp(digit))));
+    b.put(kP0, tmp(b.binop(BinOp::Add, tmp(b.get(kP0)), imm(1))));
+    b.jump(header);
+
+    b.switchTo(exit);
+    b.put(ir::kRetReg, tmp(b.get(kAcc)));
+    b.ret();
+    return b.build(entry);
+}
+
+} // namespace
+
+bin::BinaryImage
+generateLibc()
+{
+    bin::BinaryImage lib;
+    lib.name = "libc.so";
+    lib.arch = bin::Arch::Arm;
+
+    // A small data section: the malloc arena pointer and strtok state.
+    bin::Section data;
+    data.name = ".data";
+    data.addr = bin::kDataBase;
+    data.flags = bin::kSecRead | bin::kSecWrite;
+    data.bytes.assign(64, 0);
+    const ir::Addr arenaPtrSlot = bin::kDataBase;
+    const ir::Addr strtokSlot = bin::kDataBase + 8;
+    lib.sections.push_back(std::move(data));
+
+    ir::Addr cursor = bin::kTextBase;
+    auto place = [&cursor, &lib](ir::Function fn) {
+        const ir::Addr entry = fn.entry;
+        cursor += fn.byteSize() + ir::kStmtSize; // gap between functions
+        lib.symbols.push_back({entry, fn.name});
+        lib.program.addFunction(std::move(fn));
+        return entry;
+    };
+
+    const ir::Addr strlenAt = place(buildStrlen(cursor));
+    place(buildStrcpy(cursor));
+    place(buildStrncpy(cursor));
+    place(buildMemcmp(cursor));
+    place(buildStrcmpLike(cursor, "strcmp", false));
+    place(buildStrcmpLike(cursor, "strncmp", true));
+    place(buildStrstr(cursor, strlenAt));
+    place(buildStrchrLike(cursor, "strchr"));
+    place(buildStrchrLike(cursor, "strrchr"));
+    place(buildStrchrLike(cursor, "memchr"));
+    const ir::Addr memcpyAt =
+        place(buildMemcpyLike(cursor, "memcpy", false));
+    place(buildMemcpyLike(cursor, "memmove", true));
+    place(buildMemset(cursor));
+    const ir::Addr mallocAt = place(buildMalloc(cursor, arenaPtrSlot));
+    place(buildStrdup(cursor, strlenAt, mallocAt, memcpyAt));
+    place(buildStrtok(cursor, strtokSlot));
+    place(buildAtoi(cursor));
+
+    return lib;
+}
+
+} // namespace fits::synth

@@ -1,0 +1,20 @@
+#ifndef FITS_SYNTH_LIBC_GEN_HH_
+#define FITS_SYNTH_LIBC_GEN_HH_
+
+#include "binary/image.hh"
+
+namespace fits::synth {
+
+/**
+ * Generate the dependency library "libc.so": FIR implementations of the
+ * anchor functions (strcpy, memcmp, strstr, ... — the paper's Figure 2)
+ * plus a handful of ordinary libc functions. Library function names are
+ * exported (real shared objects keep their dynamic symbols), which is
+ * what lets FITS identify anchors by name and extract their BFVs from
+ * the implementations.
+ */
+bin::BinaryImage generateLibc();
+
+} // namespace fits::synth
+
+#endif // FITS_SYNTH_LIBC_GEN_HH_

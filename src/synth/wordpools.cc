@@ -1,0 +1,87 @@
+#include "wordpools.hh"
+
+namespace fits::synth {
+
+const std::vector<std::string> &
+userDataKeys()
+{
+    static const std::vector<std::string> keys = {
+        "username",    "password",   "hostname",   "ssid",
+        "wpa_psk",     "url",        "redirect",   "lang",
+        "session_id",  "token",      "email",      "device_name",
+        "ntp_server",  "ddns_user",  "ddns_pass",  "port_fwd",
+        "vpn_user",    "vpn_pass",   "share_name", "ftp_user",
+        "ftp_pass",    "wps_pin",    "guest_ssid", "schedule",
+        "mac_filter",  "dmz_host",   "static_route", "wan_user",
+        "wan_pass",    "proxy_host", "syslog_host", "upnp_desc",
+    };
+    return keys;
+}
+
+const std::vector<std::string> &
+systemConfigKeys()
+{
+    // Must stay in sync with taint::systemDataKeys(); the generator
+    // indexes system flows by these so the string filter can act.
+    static const std::vector<std::string> keys = {
+        "lan_mac",     "wan_mac",     "subnet_mask", "lan_gateway",
+        "wan_gateway", "lan_ipaddr",  "wan_ipaddr",  "dns_server",
+        "fw_version",  "hw_id",       "uptime",      "wan_proto",
+        "lan_netmask", "serial_no",
+    };
+    return keys;
+}
+
+const std::vector<std::string> &
+errorMessages()
+{
+    static const std::vector<std::string> msgs = {
+        "error: invalid request",    "error: out of memory",
+        "error: bad parameter",      "error: socket failed",
+        "error: timeout",            "error: permission denied",
+        "error: malformed header",   "error: unsupported method",
+        "error: session expired",    "error: checksum mismatch",
+        "warn: retrying operation",  "warn: config missing",
+        "fatal: cannot bind port",   "fatal: watchdog reset",
+        "info: request handled",     "info: session opened",
+    };
+    return msgs;
+}
+
+const std::vector<std::string> &
+formatStrings()
+{
+    static const std::vector<std::string> fmts = {
+        "%s: %s",       "GET %s HTTP/1.1",   "val=%s",
+        "user %s logged in", "cfg %s=%s",    "ifconfig %s up",
+        "ping -c 1 %s", "echo %s > /tmp/x",  "%s\r\n",
+        "name=%s id=%d",
+    };
+    return fmts;
+}
+
+const std::vector<std::string> &
+urlPaths()
+{
+    static const std::vector<std::string> paths = {
+        "/cgi-bin/login",  "/apply.cgi",      "/setup.cgi",
+        "/goform/SetCfg",  "/status.html",    "/wan.htm",
+        "/wireless.htm",   "/reboot.cgi",     "/upgrade.cgi",
+        "/api/device",
+    };
+    return paths;
+}
+
+const std::vector<std::string> &
+configLines()
+{
+    static const std::vector<std::string> lines = {
+        "lan_ipaddr=192.168.1.1",  "subnet_mask=255.255.255.0",
+        "wan_proto=dhcp",          "dns_server=8.8.8.8",
+        "fw_version=1.0.0.42",     "hw_id=A1",
+        "lan_mac=aa:bb:cc:dd:ee:ff",
+    };
+    return lines;
+}
+
+} // namespace fits::synth

@@ -1,0 +1,24 @@
+#ifndef FITS_SYNTH_WORDPOOLS_HH_
+#define FITS_SYNTH_WORDPOOLS_HH_
+
+#include <string>
+#include <vector>
+
+namespace fits::synth {
+
+/**
+ * String pools used by the synthetic firmware generator. User-data keys
+ * are the request-field names an Internet-facing device parses out of
+ * HTTP requests; system keys match taint::systemDataKeys() so the
+ * STA-ITS string filter has something real to match against.
+ */
+const std::vector<std::string> &userDataKeys();
+const std::vector<std::string> &systemConfigKeys();
+const std::vector<std::string> &errorMessages();
+const std::vector<std::string> &formatStrings();
+const std::vector<std::string> &urlPaths();
+const std::vector<std::string> &configLines();
+
+} // namespace fits::synth
+
+#endif // FITS_SYNTH_WORDPOOLS_HH_

@@ -1,0 +1,113 @@
+#include "common.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fits::taint {
+
+const char *
+vulnClassName(VulnClass vclass)
+{
+    switch (vclass) {
+      case VulnClass::BufferOverflow:   return "buffer-overflow";
+      case VulnClass::CommandInjection: return "command-injection";
+    }
+    return "?";
+}
+
+const std::vector<SinkSpec> &
+defaultSinks()
+{
+    // Argument conventions follow libc: copy functions are dangerous
+    // when the *source* operand (arg 1) is tainted, sprintf when any
+    // value operand is, command functions when the command string is.
+    static const std::vector<SinkSpec> sinks = {
+        {"strcpy", VulnClass::BufferOverflow, {1}},
+        {"strncpy", VulnClass::BufferOverflow, {1}},
+        {"strcat", VulnClass::BufferOverflow, {1}},
+        {"strncat", VulnClass::BufferOverflow, {1}},
+        {"sprintf", VulnClass::BufferOverflow, {1, 2, 3}},
+        {"memcpy", VulnClass::BufferOverflow, {1}},
+        {"system", VulnClass::CommandInjection, {0}},
+        {"execve", VulnClass::CommandInjection, {0, 1}},
+        {"popen", VulnClass::CommandInjection, {0}},
+    };
+    return sinks;
+}
+
+const SinkSpec *
+sinkByName(const std::string &name)
+{
+    for (const auto &sink : defaultSinks()) {
+        if (sink.name == name)
+            return &sink;
+    }
+    return nullptr;
+}
+
+TaintSource
+TaintSource::cts(std::string name, Origin origin, int pointerArg)
+{
+    TaintSource s;
+    s.kind = Kind::Cts;
+    s.name = std::move(name);
+    s.origin = origin;
+    s.pointerArg = pointerArg;
+    return s;
+}
+
+TaintSource
+TaintSource::its(ir::Addr entry, std::string label)
+{
+    TaintSource s;
+    s.kind = Kind::Its;
+    s.entry = entry;
+    s.name = std::move(label);
+    s.origin = Origin::ReturnValue;
+    return s;
+}
+
+std::vector<TaintSource>
+classicalTaintSources()
+{
+    using O = TaintSource::Origin;
+    return {
+        TaintSource::cts("recv", O::PointerArg, 1),
+        TaintSource::cts("recvfrom", O::PointerArg, 1),
+        TaintSource::cts("read", O::PointerArg, 1),
+        TaintSource::cts("fgets", O::PointerArg, 0),
+        TaintSource::cts("getenv", O::ReturnValue),
+        TaintSource::cts("BIO_read", O::PointerArg, 1),
+    };
+}
+
+const std::vector<std::string> &
+systemDataKeys()
+{
+    static const std::vector<std::string> keys = {
+        "lan_mac",     "wan_mac",     "subnet_mask", "lan_gateway",
+        "wan_gateway", "lan_ipaddr",  "wan_ipaddr",  "dns_server",
+        "fw_version",  "hw_id",       "uptime",      "wan_proto",
+        "lan_netmask", "serial_no",
+    };
+    return keys;
+}
+
+bool
+isSystemDataKey(const std::string &key)
+{
+    static const std::unordered_set<std::string> set(
+        systemDataKeys().begin(), systemDataKeys().end());
+    return set.find(key) != set.end();
+}
+
+std::vector<Alert>
+TaintReport::filteredAlerts() const
+{
+    std::vector<Alert> out;
+    std::copy_if(alerts.begin(), alerts.end(), std::back_inserter(out),
+                 [](const Alert &a) { return a.hasUserDataLabel; });
+    return out;
+}
+
+} // namespace fits::taint

@@ -1,0 +1,47 @@
+#include "labels.hh"
+
+namespace fits::taint {
+
+LabelTable
+buildLabelTable(const std::vector<TaintSource> &sources)
+{
+    LabelTable table;
+    std::size_t nextBit = 0;
+
+    auto allocBit = [&nextBit]() {
+        const std::size_t bit = nextBit < 63 ? nextBit : 63;
+        ++nextBit;
+        return std::uint64_t{1} << bit;
+    };
+
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        const TaintSource &src = sources[i];
+        LabelTable::SourceBits bits;
+
+        bits.userBit = allocBit();
+        LabelInfo user;
+        user.sourceIndex = i;
+        user.systemData = false;
+        user.description = (src.kind == TaintSource::Kind::Cts
+                                ? "cts:"
+                                : "its-user:") +
+                           src.name;
+        table.labels.push_back(std::move(user));
+        table.userMask |= bits.userBit;
+
+        if (src.kind == TaintSource::Kind::Its) {
+            bits.systemBit = allocBit();
+            LabelInfo sys;
+            sys.sourceIndex = i;
+            sys.systemData = true;
+            sys.description = "its-system:" + src.name;
+            table.labels.push_back(std::move(sys));
+        }
+
+        table.bySource.push_back(bits);
+    }
+
+    return table;
+}
+
+} // namespace fits::taint

@@ -1,0 +1,40 @@
+#ifndef FITS_TAINT_LABELS_HH_
+#define FITS_TAINT_LABELS_HH_
+
+#include "taint/common.hh"
+
+namespace fits::taint {
+
+/**
+ * The label bit assignment of one engine run. Each CTS gets one bit;
+ * each ITS gets two — one for flows indexed by user-data keys and one
+ * for flows indexed by system-data keys (subnet mask, MAC, ...). The
+ * split is what makes the §4.3 string filter a pure mask operation.
+ */
+struct LabelTable
+{
+    struct SourceBits
+    {
+        std::uint64_t userBit = 0;
+        std::uint64_t systemBit = 0; ///< 0 for CTS sources
+    };
+
+    std::vector<LabelInfo> labels;
+    std::vector<SourceBits> bySource;
+    /** Union of all user-data bits. */
+    std::uint64_t userMask = 0;
+
+    bool
+    hasUserData(std::uint64_t mask) const
+    {
+        return (mask & userMask) != 0;
+    }
+};
+
+/** Assign label bits for the given sources (at most 64 bits total;
+ * surplus sources share the last bit, which only coarsens reports). */
+LabelTable buildLabelTable(const std::vector<TaintSource> &sources);
+
+} // namespace fits::taint
+
+#endif // FITS_TAINT_LABELS_HH_

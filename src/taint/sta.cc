@@ -1,0 +1,539 @@
+#include "sta.hh"
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "taint/labels.hh"
+
+namespace fits::taint {
+
+namespace {
+
+using analysis::FnId;
+using analysis::ProgramAnalysis;
+using ir::Addr;
+using ir::Operand;
+using ir::Stmt;
+using ir::StmtKind;
+
+using Mask = std::uint64_t;
+
+/** Memory cells are keyed per image so overlapping address spaces of
+ * the main binary and its libraries do not alias. */
+using CellKey = std::uint64_t;
+
+CellKey
+cellKey(std::size_t imageIdx, Addr addr)
+{
+    return (static_cast<CellKey>(imageIdx) << 48) | addr;
+}
+
+/** Imports whose primary effect is writing caller memory; the source
+ * operands' taint lands in the destination. */
+bool
+isMemoryWriter(const std::string &name)
+{
+    static const std::unordered_set<std::string> writers = {
+        "strcpy", "strncpy", "strcat", "strncat", "memcpy",
+        "memmove", "sprintf", "snprintf",
+    };
+    return writers.count(name) != 0;
+}
+
+/** Per-function interprocedural summary state. */
+struct FnState
+{
+    Mask paramIn[ir::kNumArgRegs] = {0, 0, 0, 0};
+    Mask retOut = 0;
+    Mask memOut = 0;
+};
+
+struct Engine
+{
+    const ProgramAnalysis &pa;
+    const StaEngine::Config &config;
+    const std::vector<TaintSource> &sources;
+    LabelTable labelTable;
+
+    std::vector<FnState> fnStates;
+    std::unordered_map<CellKey, Mask> globalCells;
+    Mask globalUnknown = 0;
+
+    /** image pointer -> index (for cell keys). */
+    std::unordered_map<const bin::BinaryImage *, std::size_t> imageIdx;
+
+    /** CTS import name -> source index. */
+    std::unordered_map<std::string, std::size_t> ctsByName;
+    /** ITS FnId -> source index. */
+    std::unordered_map<FnId, std::size_t> itsByFn;
+
+    /** Per caller: (block,stmt) -> resolved call-site indices. */
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<std::size_t>>>
+        siteIndex;
+
+    /** ITS call-site label cache: site index -> seed bit. */
+    std::unordered_map<std::size_t, Mask> itsSiteLabel;
+
+    std::size_t steps = 0;
+    bool recording = false;
+    std::map<std::pair<std::size_t, Addr>, Alert> alerts;
+
+    explicit Engine(const ProgramAnalysis &pa_,
+                    const StaEngine::Config &config_,
+                    const std::vector<TaintSource> &sources_)
+        : pa(pa_), config(config_), sources(sources_)
+    {
+        labelTable = buildLabelTable(sources);
+        fnStates.resize(pa.linked->fnCount());
+        siteIndex.resize(pa.linked->fnCount());
+
+        std::size_t nImages = 0;
+        for (FnId id = 0; id < pa.linked->fnCount(); ++id) {
+            const auto *image = pa.linked->fn(id).image;
+            if (imageIdx.emplace(image, nImages).second)
+                ++nImages;
+        }
+
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            if (sources[i].kind == TaintSource::Kind::Cts) {
+                ctsByName[sources[i].name] = i;
+            } else {
+                auto fnId = pa.linked->fnIdOf(&pa.linked->mainImage(),
+                                              sources[i].entry);
+                if (fnId)
+                    itsByFn[*fnId] = i;
+            }
+        }
+
+        const auto &sites = pa.callGraph.sites();
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+            const auto &site = sites[s];
+            if (site.indirect && !config.resolveIndirectCalls)
+                continue;
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(site.blockIdx) << 32) |
+                site.stmtIdx;
+            siteIndex[site.caller][key].push_back(s);
+        }
+    }
+
+    std::size_t
+    imageOf(FnId id) const
+    {
+        return imageIdx.at(pa.linked->fn(id).image);
+    }
+
+    /** Seed label for an ITS call site: user or system data depending
+     * on the key string the caller passes (resolved with the Table-2
+     * backtracker, as the paper's string matching does). */
+    Mask
+    itsLabelAt(std::size_t siteIdx, std::size_t sourceIdx)
+    {
+        auto it = itsSiteLabel.find(siteIdx);
+        if (it != itsSiteLabel.end())
+            return it->second;
+
+        const auto &site = pa.callGraph.sites()[siteIdx];
+        const auto &callerFa = pa.fn(site.caller);
+        const auto tracker = callerFa.backtracker();
+        bool system = false;
+        for (std::uint64_t value :
+             tracker.resolveArg(site.blockIdx, site.stmtIdx, 0)) {
+            if (auto s = tracker.classifyString(value)) {
+                if (isSystemDataKey(s->text)) {
+                    system = true;
+                    break;
+                }
+            }
+        }
+        const auto &bits = labelTable.bySource[sourceIdx];
+        const Mask label =
+            system && bits.systemBit != 0 ? bits.systemBit
+                                          : bits.userBit;
+        itsSiteLabel[siteIdx] = label;
+        return label;
+    }
+
+    void
+    recordAlert(FnId inFn, Addr sinkSite, const SinkSpec &sink,
+                Mask mask)
+    {
+        if (!recording || mask == 0)
+            return;
+        const auto key = std::make_pair(imageOf(inFn), sinkSite);
+        auto it = alerts.find(key);
+        if (it == alerts.end()) {
+            Alert alert;
+            alert.sinkSite = sinkSite;
+            alert.sinkName = sink.name;
+            alert.vclass = sink.vclass;
+            alert.labelMask = mask;
+            alert.inFunction = pa.linked->fn(inFn).fn->entry;
+            alert.hasUserDataLabel = labelTable.hasUserData(mask);
+            alerts.emplace(key, std::move(alert));
+        } else {
+            it->second.labelMask |= mask;
+            it->second.hasUserDataLabel =
+                labelTable.hasUserData(it->second.labelMask);
+        }
+    }
+
+    /**
+     * One dataflow pass over a function. Returns true if the
+     * function's externally visible summary (retOut/memOut), the
+     * global memory state, or any callee's paramIn changed.
+     */
+    bool
+    analyzeFunction(FnId id, std::deque<FnId> &worklist,
+                    std::vector<bool> &queued)
+    {
+        const auto &fa = pa.fn(id);
+        const ir::Function &fn = *fa.fn;
+        FnState &state = fnStates[id];
+        const std::size_t myImage = imageOf(id);
+
+        bool externallyChanged = false;
+
+        std::vector<Mask> tmps(fn.numTmps, 0);
+        Mask regs[ir::kNumRegs] = {};
+        std::unordered_map<CellKey, Mask> localMem;
+        Mask localUnknown = 0;
+
+        // Pending monotone global updates, committed afterwards.
+        std::unordered_map<CellKey, Mask> pendingCells;
+        Mask pendingUnknown = 0;
+
+        auto maskOf = [&](const Operand &op) -> Mask {
+            if (op.isImm())
+                return 0;
+            return op.tmp < tmps.size() ? tmps[op.tmp] : 0;
+        };
+
+        auto enqueue = [&](FnId callee) {
+            if (!queued[callee]) {
+                queued[callee] = true;
+                worklist.push_back(callee);
+            }
+        };
+
+        for (std::size_t pass = 0; pass < config.passesPerFunction;
+             ++pass) {
+            for (int i = 0; i < ir::kNumArgRegs; ++i)
+                regs[i] |= state.paramIn[i];
+
+            for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+                const auto &block = fn.blocks[b];
+                for (std::size_t s = 0; s < block.stmts.size(); ++s) {
+                    ++steps;
+                    const Stmt &stmt = block.stmts[s];
+                    switch (stmt.kind) {
+                      case StmtKind::Get:
+                        tmps[stmt.dst] = regs[stmt.reg];
+                        break;
+                      case StmtKind::Put:
+                        regs[stmt.reg] = maskOf(stmt.a);
+                        break;
+                      case StmtKind::Const:
+                        tmps[stmt.dst] = 0;
+                        break;
+                      case StmtKind::Binop:
+                        tmps[stmt.dst] =
+                            maskOf(stmt.a) | maskOf(stmt.b);
+                        break;
+                      case StmtKind::Load: {
+                        Mask m = maskOf(stmt.a);
+                        if (auto addr = fa.consts.valueOf(stmt.a)) {
+                            const CellKey key =
+                                cellKey(myImage, *addr);
+                            auto lm = localMem.find(key);
+                            if (lm != localMem.end()) {
+                                m |= lm->second;
+                            } else {
+                                auto gm = globalCells.find(key);
+                                if (gm != globalCells.end())
+                                    m |= gm->second;
+                            }
+                            m |= localUnknown | globalUnknown;
+                        } else {
+                            m |= localUnknown | globalUnknown;
+                            for (const auto &cell : localMem)
+                                m |= cell.second;
+                        }
+                        tmps[stmt.dst] = m;
+                        break;
+                      }
+                      case StmtKind::Store: {
+                        const Mask value = maskOf(stmt.b);
+                        const bool constValue =
+                            fa.consts.valueOf(stmt.b).has_value() ||
+                            stmt.b.isImm();
+                        if (auto addr = fa.consts.valueOf(stmt.a)) {
+                            const CellKey key =
+                                cellKey(myImage, *addr);
+                            // Data sanitization per §3.4: writing a
+                            // constant over memory clears its taint
+                            // (locally; the global view stays
+                            // monotone).
+                            localMem[key] = constValue ? 0 : value;
+                            if (value != 0)
+                                pendingCells[key] |= value;
+                        } else {
+                            localUnknown |= value;
+                            pendingUnknown |= value;
+                        }
+                        break;
+                      }
+                      case StmtKind::Call:
+                        handleCall(id, b, s, block.stmtAddr(s), fa,
+                                   tmps, regs, localMem, localUnknown,
+                                   pendingCells, pendingUnknown,
+                                   enqueue);
+                        break;
+                      case StmtKind::Ret:
+                        if (regs[ir::kRetReg] != 0 &&
+                            (state.retOut | regs[ir::kRetReg]) !=
+                                state.retOut) {
+                            state.retOut |= regs[ir::kRetReg];
+                            externallyChanged = true;
+                        }
+                        break;
+                      default:
+                        break;
+                    }
+                }
+            }
+        }
+
+        if ((state.memOut | localUnknown) != state.memOut) {
+            state.memOut |= localUnknown;
+            externallyChanged = true;
+        }
+
+        for (const auto &[key, mask] : pendingCells) {
+            Mask &cell = globalCells[key];
+            if ((cell | mask) != cell) {
+                cell |= mask;
+                externallyChanged = true;
+            }
+        }
+        if ((globalUnknown | pendingUnknown) != globalUnknown) {
+            globalUnknown |= pendingUnknown;
+            externallyChanged = true;
+        }
+
+        return externallyChanged;
+    }
+
+    void
+    handleCall(FnId caller, std::size_t blockIdx, std::size_t stmtIdx,
+               Addr stmtAddr, const analysis::FunctionAnalysis &fa,
+               std::vector<Mask> &tmps, Mask regs[],
+               std::unordered_map<CellKey, Mask> &localMem,
+               Mask &localUnknown,
+               std::unordered_map<CellKey, Mask> &pendingCells,
+               Mask &pendingUnknown,
+               const std::function<void(FnId)> &enqueue)
+    {
+        (void)tmps;
+        const std::size_t myImage = imageOf(caller);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(blockIdx) << 32) | stmtIdx;
+        auto sitesIt = siteIndex[caller].find(key);
+
+        Mask retMask = 0;
+        const Mask argUnion =
+            regs[0] | regs[1] | regs[2] | regs[3];
+
+        if (sitesIt != siteIndex[caller].end()) {
+            for (std::size_t siteIdx : sitesIt->second) {
+                const auto &site = pa.callGraph.sites()[siteIdx];
+                const std::string &name = site.target.name;
+
+                // Sink check first: the call consumes its arguments.
+                if (const SinkSpec *sink = sinkByName(name)) {
+                    Mask hit = 0;
+                    for (int arg : sink->taintedArgs) {
+                        if (arg >= 0 && arg < ir::kNumArgRegs)
+                            hit |= regs[arg];
+                    }
+                    recordAlert(caller, stmtAddr, *sink, hit);
+                }
+
+                // CTS seeding.
+                auto cts = name.empty() ? ctsByName.end()
+                                        : ctsByName.find(name);
+                if (cts != ctsByName.end()) {
+                    const TaintSource &src = sources[cts->second];
+                    const Mask label =
+                        labelTable.bySource[cts->second].userBit;
+                    if (src.origin == TaintSource::Origin::ReturnValue) {
+                        retMask |= label;
+                    } else {
+                        const int argIdx = src.pointerArg;
+                        bool resolved = false;
+                        if (argIdx >= 0 && argIdx < ir::kNumArgRegs) {
+                            const auto tracker = fa.backtracker();
+                            for (std::uint64_t addr :
+                                 tracker.resolveArg(blockIdx, stmtIdx,
+                                                    argIdx)) {
+                                for (Addr off = 0;
+                                     off < kPointerSeedRange; ++off) {
+                                    const CellKey cell =
+                                        cellKey(myImage, addr + off);
+                                    localMem[cell] = label;
+                                    pendingCells[cell] |= label;
+                                }
+                                resolved = true;
+                            }
+                        }
+                        if (!resolved) {
+                            localUnknown |= label;
+                            pendingUnknown |= label;
+                        }
+                    }
+                }
+
+                if (site.resolvesToFunction() &&
+                    site.target.library.empty()) {
+                    // Custom (same-image) callee: propagate parameter
+                    // taint and pick up its summary.
+                    const FnId callee = site.target.fn;
+                    FnState &cs = fnStates[callee];
+                    const int calleeParams =
+                        pa.fn(callee).params.count;
+                    bool changed = false;
+                    for (int i = 0; i < calleeParams; ++i) {
+                        if ((cs.paramIn[i] | regs[i]) !=
+                            cs.paramIn[i]) {
+                            cs.paramIn[i] |= regs[i];
+                            changed = true;
+                        }
+                    }
+                    if (changed)
+                        enqueue(callee);
+                    retMask |= cs.retOut;
+                    localUnknown |= cs.memOut;
+
+                    // ITS seeding: the verified taint origin is the
+                    // return register of the ITS.
+                    auto its = itsByFn.find(callee);
+                    if (its != itsByFn.end())
+                        retMask |= itsLabelAt(siteIdx, its->second);
+                } else if (site.resolvesToFunction()) {
+                    // Library function with an implementation: treat
+                    // as a model (anchor semantics): taint flows from
+                    // arguments to the return value, and for memory
+                    // writers into the destination buffer.
+                    retMask |= argUnion;
+                    if (isMemoryWriter(name)) {
+                        const Mask srcMask =
+                            regs[1] | regs[2] | regs[3];
+                        const auto tracker = fa.backtracker();
+                        bool resolved = false;
+                        for (std::uint64_t addr :
+                             tracker.resolveArg(blockIdx, stmtIdx,
+                                                0)) {
+                            const CellKey cell =
+                                cellKey(myImage, addr);
+                            localMem[cell] = srcMask;
+                            if (srcMask != 0)
+                                pendingCells[cell] |= srcMask;
+                            resolved = true;
+                        }
+                        if (!resolved && srcMask != 0) {
+                            localUnknown |= srcMask;
+                            pendingUnknown |= srcMask;
+                        }
+                    }
+                } else {
+                    // External import without implementation.
+                    retMask |= argUnion;
+                }
+            }
+        }
+
+        // The callee clobbers caller-saved registers.
+        regs[0] = retMask;
+        regs[1] = regs[2] = regs[3] = 0;
+    }
+};
+
+} // namespace
+
+StaEngine::StaEngine()
+    : config_()
+{
+}
+
+StaEngine::StaEngine(Config config)
+    : config_(config)
+{
+}
+
+TaintReport
+StaEngine::run(const ProgramAnalysis &pa,
+               const std::vector<TaintSource> &sources) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    Engine engine(pa, config_, sources);
+
+    std::deque<FnId> worklist;
+    std::vector<bool> queued(pa.linked->fnCount(), true);
+    for (FnId id = 0; id < pa.linked->fnCount(); ++id)
+        worklist.push_back(id);
+
+    std::size_t processed = 0;
+    const std::size_t cap =
+        config_.maxRounds * std::max<std::size_t>(
+                                1, pa.linked->fnCount());
+    bool exhausted = false;
+    while (!worklist.empty()) {
+        if (processed++ > cap) {
+            exhausted = true;
+            break;
+        }
+        const FnId id = worklist.front();
+        worklist.pop_front();
+        queued[id] = false;
+        if (engine.analyzeFunction(id, worklist, queued)) {
+            // The function's summary or the global memory state
+            // changed: anything may observe it (loads from global
+            // cells have no call-graph edge), so requeue everything
+            // still unqueued. The round cap bounds the fixpoint.
+            for (FnId other = 0; other < pa.linked->fnCount();
+                 ++other) {
+                if (!queued[other]) {
+                    queued[other] = true;
+                    worklist.push_back(other);
+                }
+            }
+        }
+    }
+
+    // Collection sweep: state is at (or near) fixpoint; record alerts.
+    engine.recording = true;
+    std::deque<FnId> dummy;
+    std::vector<bool> dummyQueued(pa.linked->fnCount(), true);
+    for (FnId id = 0; id < pa.linked->fnCount(); ++id)
+        engine.analyzeFunction(id, dummy, dummyQueued);
+
+    TaintReport report;
+    report.labels = engine.labelTable.labels;
+    for (auto &[key, alert] : engine.alerts)
+        report.alerts.push_back(std::move(alert));
+    report.steps = engine.steps;
+    report.budgetExhausted = exhausted;
+    report.analysisMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return report;
+}
+
+} // namespace fits::taint

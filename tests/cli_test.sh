@@ -1,0 +1,48 @@
+#!/bin/sh
+# Integration test of the `fits` CLI: generate, inspect, rank, taint,
+# disassemble, and score one image end to end. Invoked by ctest with
+# the path to the fits binary as $1.
+set -e
+
+FITS="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+IMG="$DIR/cli_test.fwimg"
+
+"$FITS" gen "$IMG" --vendor Tenda --seed 77 > "$DIR/gen.out"
+grep -q "wrote" "$DIR/gen.out"
+test -s "$IMG"
+test -s "$IMG.truth"
+
+"$FITS" info "$IMG" > "$DIR/info.out"
+grep -q "network binary" "$DIR/info.out"
+grep -q "libc.so" "$DIR/info.out"
+
+"$FITS" rank "$IMG" --top 3 > "$DIR/rank.out"
+grep -q "#1" "$DIR/rank.out"
+
+# The rank-1 entry should be the ground-truth ITS for this seed.
+ITS=$(grep '^its' "$IMG.truth" | awk '{print $2}')
+grep -q "$ITS" "$DIR/rank.out"
+
+"$FITS" taint "$IMG" --engine sta --its "$ITS" > "$DIR/taint.out"
+grep -q "alerts" "$DIR/taint.out"
+
+"$FITS" disasm "$IMG" "$ITS" > "$DIR/disasm.out"
+grep -q "function" "$DIR/disasm.out"
+grep -q "GET(r0)" "$DIR/disasm.out"
+
+"$FITS" score "$IMG" > "$DIR/score.out"
+grep -q "top-3 hit" "$DIR/score.out"
+
+# Error paths exit non-zero.
+if "$FITS" info /nonexistent.fwimg 2> /dev/null; then
+    echo "expected failure on a missing file" >&2
+    exit 1
+fi
+if "$FITS" bogus-command x 2> /dev/null; then
+    echo "expected usage failure" >&2
+    exit 1
+fi
+
+echo "cli ok"

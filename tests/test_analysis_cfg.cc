@@ -1,0 +1,251 @@
+/** @file Unit tests for CFG construction and dominator/loop analysis. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/cfg.hh"
+#include "analysis/loops.hh"
+#include "ir/builder.hh"
+
+namespace fits::analysis {
+namespace {
+
+using ir::BinOp;
+using ir::FunctionBuilder;
+using ir::Operand;
+
+bool
+hasEdge(const Cfg &cfg, std::size_t from, std::size_t to)
+{
+    const auto &succs = cfg.succs(from);
+    return std::find(succs.begin(), succs.end(), to) != succs.end();
+}
+
+/** entry -> (branch) -> then/else -> join. */
+ir::Function
+diamond()
+{
+    FunctionBuilder b;
+    auto thenBlk = b.newBlock();
+    auto elseBlk = b.newBlock();
+    auto join = b.newBlock();
+    auto c = b.get(ir::kRegR0);
+    b.branch(Operand::ofTmp(c), thenBlk);
+    b.jump(elseBlk);
+    b.switchTo(thenBlk);
+    b.cnst(1);
+    b.jump(join);
+    b.switchTo(elseBlk);
+    b.cnst(2);
+    b.jump(join);
+    b.switchTo(join);
+    b.ret();
+    return b.build(0x1000);
+}
+
+/** entry -> header <-> body; header -> exit. */
+ir::Function
+simpleLoop()
+{
+    FunctionBuilder b;
+    auto header = b.newBlock();
+    auto body = b.newBlock();
+    auto exit = b.newBlock();
+    b.put(4, Operand::ofImm(0));
+    b.jump(header);
+    b.switchTo(header);
+    auto i = b.get(4);
+    auto done = b.binop(BinOp::CmpGe, Operand::ofTmp(i),
+                        Operand::ofImm(10));
+    b.branch(Operand::ofTmp(done), exit);
+    b.jump(body);
+    b.switchTo(body);
+    auto i2 = b.get(4);
+    b.put(4, Operand::ofTmp(b.binop(BinOp::Add, Operand::ofTmp(i2),
+                                    Operand::ofImm(1))));
+    b.jump(header);
+    b.switchTo(exit);
+    b.ret();
+    return b.build(0x1000);
+}
+
+TEST(CfgTest, DiamondEdges)
+{
+    const ir::Function fn = diamond();
+    const Cfg cfg = Cfg::build(fn);
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+    EXPECT_TRUE(hasEdge(cfg, 0, 1)); // branch taken
+    EXPECT_TRUE(hasEdge(cfg, 0, 2)); // jump after the side exit
+    EXPECT_TRUE(hasEdge(cfg, 1, 3));
+    EXPECT_TRUE(hasEdge(cfg, 2, 3));
+    EXPECT_TRUE(cfg.succs(3).empty()); // RET
+    EXPECT_EQ(cfg.preds(3).size(), 2u);
+    EXPECT_EQ(cfg.numEdges(), 4u);
+}
+
+TEST(CfgTest, FallthroughWithoutTerminator)
+{
+    ir::Function fn;
+    fn.entry = 0x100;
+    ir::BasicBlock a;
+    a.addr = 0x100;
+    a.stmts.push_back(ir::Stmt::cnst(0, 1));
+    ir::BasicBlock b;
+    b.addr = 0x104;
+    b.stmts.push_back(ir::Stmt::ret());
+    fn.blocks = {a, b};
+    fn.numTmps = 1;
+    const Cfg cfg = Cfg::build(fn);
+    EXPECT_TRUE(hasEdge(cfg, 0, 1));
+}
+
+TEST(CfgTest, TrailingBranchGetsFallthroughEdge)
+{
+    FunctionBuilder b;
+    auto target = b.newBlock();
+    auto next = b.newBlock();
+    auto c = b.get(ir::kRegR0);
+    b.branch(Operand::ofTmp(c), target); // last stmt of entry block
+    b.switchTo(target);
+    b.ret();
+    b.switchTo(next);
+    b.ret();
+    // layout: entry(0), target(1), next(2); fallthrough goes to 1.
+    const ir::Function fn = b.build(0x100);
+    const Cfg cfg = Cfg::build(fn);
+    EXPECT_TRUE(hasEdge(cfg, 0, 1));
+}
+
+TEST(CfgTest, ReachableSkipsDeadBlocks)
+{
+    FunctionBuilder b;
+    auto dead = b.newBlock();
+    auto live = b.newBlock();
+    b.jump(live);
+    b.switchTo(dead);
+    b.ret();
+    b.switchTo(live);
+    b.ret();
+    const Cfg cfg = Cfg::build(b.build(0));
+    const auto reachable = cfg.reachable();
+    EXPECT_TRUE(reachable[0]);
+    EXPECT_FALSE(reachable[1]);
+    EXPECT_TRUE(reachable[2]);
+}
+
+TEST(CfgTest, IndirectJumpUsesResolvedTargets)
+{
+    FunctionBuilder b;
+    auto t = b.cnst(0); // placeholder address
+    b.jumpIndirect(Operand::ofTmp(t));
+    auto other = b.newBlock();
+    b.switchTo(other);
+    b.ret();
+    ir::Function fn = b.build(0x100);
+    const ir::Addr jumpAddr = fn.blocks[0].stmtAddr(1);
+
+    const Cfg without = Cfg::build(fn);
+    EXPECT_TRUE(without.succs(0).empty());
+
+    std::unordered_map<ir::Addr, std::vector<ir::Addr>> resolved;
+    resolved[jumpAddr] = {fn.blocks[1].addr};
+    const Cfg with = Cfg::build(fn, &resolved);
+    EXPECT_TRUE(hasEdge(with, 0, 1));
+}
+
+TEST(LoopsTest, DiamondHasNoLoop)
+{
+    const ir::Function fn = diamond();
+    const Cfg cfg = Cfg::build(fn);
+    const LoopInfo info = analyzeLoops(cfg, fn);
+    EXPECT_FALSE(info.hasLoop());
+    EXPECT_TRUE(info.backEdges.empty());
+    for (bool in : info.inLoop)
+        EXPECT_FALSE(in);
+}
+
+TEST(LoopsTest, SimpleLoopDetected)
+{
+    const ir::Function fn = simpleLoop();
+    const Cfg cfg = Cfg::build(fn);
+    const LoopInfo info = analyzeLoops(cfg, fn);
+    ASSERT_TRUE(info.hasLoop());
+    ASSERT_EQ(info.backEdges.size(), 1u);
+    EXPECT_EQ(info.backEdges[0].second, 1u); // header
+    EXPECT_EQ(info.backEdges[0].first, 2u);  // latch (body)
+    EXPECT_TRUE(info.inLoop[1]);
+    EXPECT_TRUE(info.inLoop[2]);
+    EXPECT_FALSE(info.inLoop[0]);
+    EXPECT_FALSE(info.inLoop[3]);
+    // The header contains the exit branch -> controls the loop.
+    EXPECT_TRUE(info.controlsLoop[1]);
+}
+
+TEST(LoopsTest, DominatorsOfDiamond)
+{
+    const ir::Function fn = diamond();
+    const Cfg cfg = Cfg::build(fn);
+    const LoopInfo info = analyzeLoops(cfg, fn);
+    EXPECT_EQ(info.idom[0], 0u);
+    EXPECT_EQ(info.idom[1], 0u);
+    EXPECT_EQ(info.idom[2], 0u);
+    EXPECT_EQ(info.idom[3], 0u); // join dominated by entry only
+    EXPECT_TRUE(info.dominates(0, 3));
+    EXPECT_FALSE(info.dominates(1, 3));
+    EXPECT_TRUE(info.dominates(2, 2));
+}
+
+TEST(LoopsTest, NestedLoops)
+{
+    FunctionBuilder b;
+    auto outer = b.newBlock();
+    auto inner = b.newBlock();
+    auto innerLatch = b.newBlock();
+    auto outerLatch = b.newBlock();
+    auto exit = b.newBlock();
+    b.jump(outer);
+    b.switchTo(outer);
+    auto c1 = b.get(ir::kRegR0);
+    b.branch(Operand::ofTmp(c1), exit);
+    b.jump(inner);
+    b.switchTo(inner);
+    auto c2 = b.get(ir::kRegR1);
+    b.branch(Operand::ofTmp(c2), outerLatch);
+    b.jump(innerLatch);
+    b.switchTo(innerLatch);
+    b.jump(inner);
+    b.switchTo(outerLatch);
+    b.jump(outer);
+    b.switchTo(exit);
+    b.ret();
+    const ir::Function fn = b.build(0);
+    const Cfg cfg = Cfg::build(fn);
+    const LoopInfo info = analyzeLoops(cfg, fn);
+    EXPECT_EQ(info.backEdges.size(), 2u);
+    EXPECT_TRUE(info.inLoop[1]); // outer header
+    EXPECT_TRUE(info.inLoop[2]); // inner header
+    EXPECT_TRUE(info.inLoop[3]);
+    EXPECT_TRUE(info.inLoop[4]);
+    EXPECT_FALSE(info.inLoop[5]);
+}
+
+TEST(LoopsTest, UnreachableBlocksGetNposIdom)
+{
+    FunctionBuilder b;
+    auto dead = b.newBlock();
+    auto live = b.newBlock();
+    b.jump(live);
+    b.switchTo(dead);
+    b.ret();
+    b.switchTo(live);
+    b.ret();
+    const ir::Function fn = b.build(0);
+    const Cfg cfg = Cfg::build(fn);
+    const LoopInfo info = analyzeLoops(cfg, fn);
+    EXPECT_EQ(info.idom[1], LoopInfo::npos);
+    EXPECT_EQ(info.idom[2], 0u);
+}
+
+} // namespace
+} // namespace fits::analysis
