@@ -17,7 +17,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
@@ -68,17 +68,16 @@ main()
 {
     std::printf("=== Design-choice ablations ===\n\n");
 
-    // Analyze the corpus once (stripped) and once in vendor mode.
+    // Analyze the corpus once (stripped) and once in vendor mode;
+    // each pass generates samples inside the runner's workers.
     const auto specs = synth::standardDataset();
-    std::vector<eval::InferenceOutcome> stripped, vendor;
-    for (const auto &spec : specs) {
-        stripped.push_back(
-            eval::runInference(synth::generateFirmware(spec)));
-        auto vendorSpec = spec;
-        vendorSpec.keepSymbols = true;
-        vendor.push_back(
-            eval::runInference(synth::generateFirmware(vendorSpec)));
-    }
+    auto vendorSpecs = specs;
+    for (auto &spec : vendorSpecs)
+        spec.keepSymbols = true;
+
+    const eval::CorpusRunner runner;
+    const auto stripped = runner.runInferenceOnSpecs(specs);
+    const auto vendor = runner.runInferenceOnSpecs(vendorSpecs);
 
     // ---- A: vendor mode ---------------------------------------------
     std::printf("A. Symbol-name prior (Discussion §5 vendor mode)\n");
@@ -137,13 +136,10 @@ main()
     // ---- D: UCSE indirect resolution ------------------------------------
     std::printf("D. UCSE indirect-target resolution\n");
     {
-        std::vector<eval::InferenceOutcome> noUcse;
-        core::PipelineConfig pipelineConfig;
-        pipelineConfig.behavior.ucse.maxSteps = 0; // resolver disabled
-        for (const auto &spec : specs) {
-            noUcse.push_back(eval::runInference(
-                synth::generateFirmware(spec), pipelineConfig));
-        }
+        eval::CorpusRunner::Config config;
+        config.pipeline.behavior.ucse.maxSteps = 0; // resolver off
+        const auto noUcse =
+            eval::CorpusRunner(config).runInferenceOnSpecs(specs);
         eval::TablePrinter table({"Configuration", "Top-1", "Top-2",
                                   "Top-3"});
         addRow(table, "UCSE on (ours)",

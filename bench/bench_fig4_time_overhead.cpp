@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "mlkit/stats.hh"
 #include "support/strings.hh"
@@ -28,8 +28,8 @@ main()
     const auto corpus = synth::generateStandardCorpus();
 
     std::vector<double> fns, bytes, ms;
-    for (const auto &fw : corpus) {
-        const auto outcome = eval::runInference(fw);
+    for (const auto &outcome :
+         eval::CorpusRunner().runInference(corpus)) {
         if (!outcome.ok)
             continue;
         fns.push_back(static_cast<double>(outcome.numFunctions));

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/bfv.hh"
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
@@ -48,11 +48,9 @@ main()
 
     const auto corpus = synth::generateStandardCorpus();
 
-    // The expensive pass happens once; every variant only re-ranks
-    // the retained behavior representations.
-    std::vector<eval::InferenceOutcome> outcomes;
-    for (const auto &fw : corpus)
-        outcomes.push_back(eval::runInference(fw));
+    // The expensive pass happens once (fanned out across workers);
+    // every variant only re-ranks the retained representations.
+    const auto outcomes = eval::CorpusRunner().runInference(corpus);
 
     eval::TablePrinter table(
         {"Variant", "Removed feature", "Top-1", "Top-2", "Top-3"});

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <map>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "synth/firmware_gen.hh"
 
@@ -46,14 +46,21 @@ main()
 
     const auto corpus = synth::generateStandardCorpus();
 
+    const eval::CorpusRunner runner;
+    std::printf("(%zu samples, %zu worker threads — set FITS_JOBS to "
+                "override)\n\n",
+                corpus.size(), runner.jobs());
+    const auto outcomes = runner.runInference(corpus);
+
     // Group key: (latest?, vendor), in the paper's row order.
     std::map<std::pair<bool, std::string>, GroupStats> groups;
     eval::PrecisionStats overall;
     double overallMs = 0.0;
     std::vector<std::string> failures;
 
-    for (const auto &fw : corpus) {
-        const auto outcome = eval::runInference(fw);
+    for (std::size_t s = 0; s < corpus.size(); ++s) {
+        const auto &fw = corpus[s];
+        const auto &outcome = outcomes[s];
         auto &group = groups[{fw.spec.latest,
                               fw.spec.profile.vendor}];
         ++group.count;

@@ -9,7 +9,7 @@
 
 #include <map>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
@@ -22,17 +22,19 @@ main()
     std::printf("=== Table 4: partial ITS inference results ===\n\n");
 
     const auto corpus = synth::generateStandardCorpus();
+    const auto outcomes = eval::CorpusRunner().runInference(corpus);
 
     eval::TablePrinter table({"Vendor", "Firmware", "Binary",
                               "#Functions", "ITS addr.", "Ranking"});
 
     // Representative picks per vendor: first few successful samples.
     std::map<std::string, int> shown;
-    for (const auto &fw : corpus) {
+    for (std::size_t s = 0; s < corpus.size(); ++s) {
+        const auto &fw = corpus[s];
+        const auto &outcome = outcomes[s];
         const std::string &vendor = fw.spec.profile.vendor;
         if (shown[vendor] >= 3)
             continue;
-        const auto outcome = eval::runInference(fw);
         if (!outcome.ok || outcome.firstItsRank < 0)
             continue;
         ++shown[vendor];

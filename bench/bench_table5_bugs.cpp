@@ -11,7 +11,7 @@
 #include <map>
 #include <set>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "synth/firmware_gen.hh"
 
@@ -34,6 +34,12 @@ main()
 
     const auto corpus = synth::generateStandardCorpus();
 
+    const eval::CorpusRunner runner;
+    std::printf("(%zu samples, %zu worker threads — set FITS_JOBS to "
+                "override)\n\n",
+                corpus.size(), runner.jobs());
+    const auto outcomes = runner.runTaint(corpus);
+
     std::map<std::pair<bool, std::string>, GroupRow> groups;
     GroupRow total;
     bool karonteSuperset = true;
@@ -41,8 +47,9 @@ main()
     std::set<ir::Addr> staOnly, karonteOnly;
     std::size_t staOnlyCount = 0, karonteOnlyCount = 0;
 
-    for (const auto &fw : corpus) {
-        const auto outcome = eval::runTaint(fw);
+    for (std::size_t s = 0; s < corpus.size(); ++s) {
+        const auto &fw = corpus[s];
+        const auto &outcome = outcomes[s];
         if (!outcome.ok)
             continue; // pre-processing failures have no taint run
         auto &g = groups[{fw.spec.latest, fw.spec.profile.vendor}];

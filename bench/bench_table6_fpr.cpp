@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <map>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "synth/firmware_gen.hh"
 
@@ -22,11 +22,14 @@ main()
 
     const auto corpus = synth::generateStandardCorpus();
 
+    const auto outcomes = eval::CorpusRunner().runTaint(corpus);
+
     eval::EngineStats karonte, karonteIts, sta, staIts;
     std::size_t filteredSystemData = 0;
 
-    for (const auto &fw : corpus) {
-        const auto outcome = eval::runTaint(fw);
+    for (std::size_t s = 0; s < corpus.size(); ++s) {
+        const auto &fw = corpus[s];
+        const auto &outcome = outcomes[s];
         if (!outcome.ok)
             continue;
         karonte += outcome.karonte;

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "synth/firmware_gen.hh"
 
@@ -21,9 +21,7 @@ main()
                 "representations ===\n\n");
 
     const auto corpus = synth::generateStandardCorpus();
-    std::vector<eval::InferenceOutcome> outcomes;
-    for (const auto &fw : corpus)
-        outcomes.push_back(eval::runInference(fw));
+    const auto outcomes = eval::CorpusRunner().runInference(corpus);
 
     eval::TablePrinter table(
         {"", "Augmented-CFG", "Attributed-CFG", "BFV"});

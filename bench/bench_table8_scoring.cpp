@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
 #include "synth/firmware_gen.hh"
 
@@ -44,9 +44,7 @@ main()
                 "scoring methods ===\n\n");
 
     const auto corpus = synth::generateStandardCorpus();
-    std::vector<eval::InferenceOutcome> outcomes;
-    for (const auto &fw : corpus)
-        outcomes.push_back(eval::runInference(fw));
+    const auto outcomes = eval::CorpusRunner().runInference(corpus);
 
     const ml::Metric metrics[4] = {
         ml::Metric::Euclidean, ml::Metric::Manhattan,

@@ -12,7 +12,7 @@
 #include <cstdlib>
 #include <map>
 
-#include "eval/harness.hh"
+#include "eval/corpus_runner.hh"
 #include "support/strings.hh"
 #include "eval/tables.hh"
 #include "synth/firmware_gen.hh"
@@ -31,7 +31,10 @@ main(int argc, char **argv)
         synth::tplinkProfile(), synth::tendaProfile(),
         synth::ciscoProfile()};
 
-    std::printf("sweeping %d samples per vendor...\n\n", perVendor);
+    const eval::CorpusRunner runner;
+    std::printf("sweeping %d samples per vendor across %zu workers "
+                "(FITS_JOBS overrides)...\n\n",
+                perVendor, runner.jobs());
 
     eval::TablePrinter table({"Vendor", "#FW", "Top-1", "Top-2",
                               "Top-3", "Avg functions",
@@ -39,9 +42,7 @@ main(int argc, char **argv)
     eval::PrecisionStats overall;
 
     for (const auto &profile : profiles) {
-        eval::PrecisionStats stats;
-        double totalMs = 0.0;
-        std::size_t totalFns = 0;
+        std::vector<synth::SampleSpec> specs;
         for (int i = 0; i < perVendor; ++i) {
             synth::SampleSpec spec;
             spec.profile = profile;
@@ -52,8 +53,14 @@ main(int argc, char **argv)
             spec.name = spec.product + "-" + spec.version;
             spec.seed = 0x5feed00 + 131 * static_cast<unsigned>(i) +
                         support::fnv1a(profile.vendor);
-            const auto firmware = synth::generateFirmware(spec);
-            const auto outcome = eval::runInference(firmware);
+            specs.push_back(std::move(spec));
+        }
+
+        eval::PrecisionStats stats;
+        double totalMs = 0.0;
+        std::size_t totalFns = 0;
+        for (const auto &outcome :
+             runner.runInferenceOnSpecs(specs)) {
             const int rank = outcome.ok ? outcome.firstItsRank : -1;
             stats.addRank(rank);
             overall.addRank(rank);

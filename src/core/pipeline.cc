@@ -18,6 +18,29 @@ msSince(Clock::time_point start)
         .count();
 }
 
+/** Flatten an artifact into the plain-data result the harness keeps. */
+PipelineResult
+resultFromArtifact(PipelineArtifact artifact)
+{
+    PipelineResult result;
+    result.ok = artifact.ok;
+    result.failureStage = artifact.failureStage;
+    result.error = std::move(artifact.error);
+    result.imageInfo = artifact.imageInfo;
+    result.binaryName = std::move(artifact.binaryName);
+    result.numFunctions = artifact.numFunctions;
+    result.binaryBytes = artifact.binaryBytes;
+    result.behavior = std::move(artifact.behavior);
+    result.inference = std::move(artifact.inference);
+    result.timings = artifact.timings;
+    // The analysis chain borrows the target; it dies with `artifact`
+    // right here and is never dereferenced again, so moving the target
+    // out from under it is safe.
+    if (artifact.target != nullptr)
+        result.target = std::move(*artifact.target);
+    return result;
+}
+
 } // namespace
 
 FitsPipeline::FitsPipeline(PipelineConfig config)
@@ -28,73 +51,92 @@ FitsPipeline::FitsPipeline(PipelineConfig config)
 PipelineResult
 FitsPipeline::run(const std::vector<std::uint8_t> &firmware) const
 {
-    PipelineResult result;
-
-    // Stage 1a: unpack.
-    auto t0 = Clock::now();
-    auto unpacked = fw::unpackFirmware(firmware);
-    result.timings.unpackMs = msSince(t0);
-    if (!unpacked) {
-        result.failureStage = PipelineResult::FailureStage::Unpack;
-        result.error = unpacked.errorMessage();
-        return result;
-    }
-    result.imageInfo = unpacked.value().info;
-
-    // Stage 1b: select the network binary and resolve libraries.
-    t0 = Clock::now();
-    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
-    result.timings.selectMs = msSince(t0);
-    if (!target) {
-        result.failureStage = PipelineResult::FailureStage::Select;
-        result.error = target.errorMessage();
-        return result;
-    }
-
-    PipelineResult rest = runOnTarget(target.take());
-    rest.imageInfo = result.imageInfo;
-    rest.timings.unpackMs = result.timings.unpackMs;
-    rest.timings.selectMs = result.timings.selectMs;
-    return rest;
+    return resultFromArtifact(analyze(firmware));
 }
 
 PipelineResult
 FitsPipeline::runOnTarget(fw::AnalysisTarget target) const
 {
-    PipelineResult result;
-    result.binaryName = target.main.name;
-    result.numFunctions = target.main.program.size();
-    result.binaryBytes = target.main.byteSize();
+    return resultFromArtifact(analyzeTarget(std::move(target)));
+}
+
+PipelineArtifact
+FitsPipeline::analyze(const std::vector<std::uint8_t> &firmware) const
+{
+    PipelineArtifact artifact;
+
+    // Stage 1a: unpack.
+    auto t0 = Clock::now();
+    auto unpacked = fw::unpackFirmware(firmware);
+    artifact.timings.unpackMs = msSince(t0);
+    if (!unpacked) {
+        artifact.failureStage = PipelineResult::FailureStage::Unpack;
+        artifact.error = unpacked.errorMessage();
+        return artifact;
+    }
+
+    // Stage 1b: select the network binary and resolve libraries.
+    t0 = Clock::now();
+    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
+    const double selectMs = msSince(t0);
+    if (!target) {
+        artifact.imageInfo = unpacked.value().info;
+        artifact.timings.selectMs = selectMs;
+        artifact.failureStage = PipelineResult::FailureStage::Select;
+        artifact.error = target.errorMessage();
+        return artifact;
+    }
+
+    PipelineArtifact rest = analyzeTarget(target.take());
+    rest.imageInfo = unpacked.value().info;
+    rest.timings.unpackMs = artifact.timings.unpackMs;
+    rest.timings.selectMs = selectMs;
+    return rest;
+}
+
+PipelineArtifact
+FitsPipeline::analyzeTarget(fw::AnalysisTarget target) const
+{
+    PipelineArtifact artifact;
+    artifact.target =
+        std::make_unique<fw::AnalysisTarget>(std::move(target));
+    artifact.binaryName = artifact.target->main.name;
+    artifact.numFunctions = artifact.target->main.program.size();
+    artifact.binaryBytes = artifact.target->main.byteSize();
 
     // Stage 2: behavior representation (Algorithm 1). The linked view
-    // borrows from `target`, so it must stay alive until we are done.
+    // and the whole-program analysis are retained on the artifact so
+    // taint engines can reuse them without re-analyzing the binary.
     auto t0 = Clock::now();
-    const analysis::LinkedProgram linked(target.main, target.libraries);
+    artifact.linked = std::make_unique<analysis::LinkedProgram>(
+        artifact.target->main, artifact.target->libraries);
+    artifact.analysis = std::make_unique<analysis::ProgramAnalysis>(
+        analysis::ProgramAnalysis::analyze(*artifact.linked,
+                                           config_.behavior.ucse));
     const BehaviorAnalyzer analyzer(config_.behavior);
-    result.behavior = analyzer.analyze(linked);
-    result.timings.behaviorMs = msSince(t0);
+    artifact.behavior = analyzer.analyze(*artifact.analysis);
+    artifact.timings.behaviorMs = msSince(t0);
 
     // Stage 3: inference (Algorithm 2).
     t0 = Clock::now();
-    result.inference = inferIts(result.behavior, config_.infer);
-    result.timings.inferMs = msSince(t0);
+    artifact.inference = inferIts(artifact.behavior, config_.infer);
+    artifact.timings.inferMs = msSince(t0);
 
-    if (!result.inference.ok()) {
-        result.failureStage = PipelineResult::FailureStage::Inference;
-        result.error = result.inference.error;
-        result.target = std::move(target);
-        return result;
+    if (!artifact.inference.ok()) {
+        artifact.failureStage =
+            PipelineResult::FailureStage::Inference;
+        artifact.error = artifact.inference.error;
+        return artifact;
     }
 
     support::logInfo(
         "pipeline",
-        result.binaryName + ": ranked " +
-            std::to_string(result.inference.ranking.size()) +
+        artifact.binaryName + ": ranked " +
+            std::to_string(artifact.inference.ranking.size()) +
             " ITS candidates");
 
-    result.ok = true;
-    result.target = std::move(target);
-    return result;
+    artifact.ok = true;
+    return artifact;
 }
 
 } // namespace fits::core

@@ -2,6 +2,7 @@
 #define FITS_CORE_PIPELINE_HH_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,46 @@ struct PipelineResult
 };
 
 /**
+ * The reusable per-sample artifact: everything one pipeline pass
+ * computes, *including* the whole-program analysis that PipelineResult
+ * drops. Taint engines, re-ranking experiments, and combined
+ * inference+taint evaluation all consume the same artifact, so a
+ * sample is unpacked, selected, and analyzed exactly once.
+ *
+ * The target/linked/analysis chain borrows downward (ProgramAnalysis
+ * borrows LinkedProgram borrows AnalysisTarget); each link is
+ * heap-allocated so the artifact can be moved without invalidating the
+ * chain. Move-only.
+ */
+struct PipelineArtifact
+{
+    bool ok = false;
+    PipelineResult::FailureStage failureStage =
+        PipelineResult::FailureStage::None;
+    std::string error;
+
+    fw::ImageInfo imageInfo;
+    std::string binaryName;
+    std::size_t numFunctions = 0;
+    std::size_t binaryBytes = 0;
+
+    std::unique_ptr<fw::AnalysisTarget> target;
+    std::unique_ptr<analysis::LinkedProgram> linked;
+    std::unique_ptr<analysis::ProgramAnalysis> analysis;
+
+    BehaviorRepr behavior;
+    InferenceResult inference;
+    StageTimings timings;
+
+    /** True once stage 1 succeeded (analysis chain is populated). */
+    bool
+    hasAnalysis() const
+    {
+        return analysis != nullptr;
+    }
+};
+
+/**
  * The FITS pipeline of Figure 3: unpack the firmware, select the
  * network binary and its libraries, compute behavior representations,
  * and rank custom functions as ITS candidates.
@@ -83,6 +124,13 @@ class FitsPipeline
 
     /** Run from an already-selected analysis target (skips stage 1). */
     PipelineResult runOnTarget(fw::AnalysisTarget target) const;
+
+    /** Full run that retains the whole-program analysis for reuse. */
+    PipelineArtifact analyze(
+        const std::vector<std::uint8_t> &firmware) const;
+
+    /** Artifact run from an already-selected target (skips stage 1). */
+    PipelineArtifact analyzeTarget(fw::AnalysisTarget target) const;
 
     const PipelineConfig &config() const { return config_; }
 

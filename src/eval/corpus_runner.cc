@@ -1,0 +1,89 @@
+#include "corpus_runner.hh"
+
+namespace fits::eval {
+
+CorpusRunner::CorpusRunner(Config config)
+    : config_(std::move(config)),
+      jobs_(support::resolveJobs(config_.jobs))
+{
+}
+
+std::vector<InferenceOutcome>
+CorpusRunner::runInference(
+    const std::vector<synth::GeneratedFirmware> &corpus) const
+{
+    return map<InferenceOutcome>(
+        corpus.size(),
+        [&](std::size_t i) {
+            return eval::runInference(corpus[i], config_.pipeline);
+        },
+        [&](std::size_t i, const std::string &message) {
+            InferenceOutcome outcome;
+            outcome.spec = corpus[i].spec;
+            outcome.truth = corpus[i].truth;
+            outcome.error = "worker exception: " + message;
+            return outcome;
+        });
+}
+
+std::vector<InferenceOutcome>
+CorpusRunner::runInferenceOnSpecs(
+    const std::vector<synth::SampleSpec> &specs) const
+{
+    return map<InferenceOutcome>(
+        specs.size(),
+        [&](std::size_t i) {
+            return eval::runInference(synth::generateFirmware(specs[i]),
+                                      config_.pipeline);
+        },
+        [&](std::size_t i, const std::string &message) {
+            InferenceOutcome outcome;
+            outcome.spec = specs[i];
+            outcome.error = "worker exception: " + message;
+            return outcome;
+        });
+}
+
+std::vector<TaintOutcome>
+CorpusRunner::runTaint(
+    const std::vector<synth::GeneratedFirmware> &corpus) const
+{
+    return map<TaintOutcome>(
+        corpus.size(),
+        [&](std::size_t i) {
+            return eval::runTaint(corpus[i], config_.pipeline);
+        },
+        [](std::size_t, const std::string &message) {
+            TaintOutcome outcome;
+            outcome.error = "worker exception: " + message;
+            return outcome;
+        });
+}
+
+std::vector<CorpusRunner::FullOutcome>
+CorpusRunner::runFull(
+    const std::vector<synth::GeneratedFirmware> &corpus) const
+{
+    return map<FullOutcome>(
+        corpus.size(),
+        [&](std::size_t i) {
+            const core::FitsPipeline pipeline(config_.pipeline);
+            const core::PipelineArtifact artifact =
+                pipeline.analyze(corpus[i].bytes);
+            FullOutcome full;
+            full.inference = inferenceOutcome(artifact, corpus[i].spec,
+                                              corpus[i].truth);
+            full.taint = taintOutcome(artifact, corpus[i].truth);
+            return full;
+        },
+        [&](std::size_t i, const std::string &message) {
+            FullOutcome full;
+            full.inference.spec = corpus[i].spec;
+            full.inference.truth = corpus[i].truth;
+            full.inference.error = "worker exception: " + message;
+            full.taint.error = full.inference.error;
+            return full;
+        });
+}
+
+} // namespace fits::eval

@@ -13,26 +13,33 @@ InferenceOutcome
 runInference(const synth::GeneratedFirmware &fw,
              const core::PipelineConfig &config)
 {
-    InferenceOutcome outcome;
-    outcome.spec = fw.spec;
-    outcome.truth = fw.truth;
-
     const core::FitsPipeline pipeline(config);
-    core::PipelineResult result = pipeline.run(fw.bytes);
+    return inferenceOutcome(pipeline.analyze(fw.bytes), fw.spec,
+                            fw.truth);
+}
 
-    outcome.failureStage = result.failureStage;
-    outcome.error = result.error;
-    outcome.binaryName = result.binaryName;
-    outcome.numFunctions = result.numFunctions;
-    outcome.binaryBytes = result.binaryBytes;
-    outcome.analysisMs = result.timings.totalMs();
-    if (!result.ok)
+InferenceOutcome
+inferenceOutcome(const core::PipelineArtifact &artifact,
+                 const synth::SampleSpec &spec,
+                 const synth::GroundTruth &truth)
+{
+    InferenceOutcome outcome;
+    outcome.spec = spec;
+    outcome.truth = truth;
+
+    outcome.failureStage = artifact.failureStage;
+    outcome.error = artifact.error;
+    outcome.binaryName = artifact.binaryName;
+    outcome.numFunctions = artifact.numFunctions;
+    outcome.binaryBytes = artifact.binaryBytes;
+    outcome.analysisMs = artifact.timings.totalMs();
+    if (!artifact.ok)
         return outcome;
 
     outcome.ok = true;
-    outcome.ranking = result.inference.ranking;
-    outcome.behavior = std::move(result.behavior);
-    outcome.firstItsRank = rankOfFirstIts(outcome.ranking, fw.truth);
+    outcome.ranking = artifact.inference.ranking;
+    outcome.behavior = artifact.behavior;
+    outcome.firstItsRank = rankOfFirstIts(outcome.ranking, truth);
     return outcome;
 }
 
@@ -122,42 +129,38 @@ scoreReport(const std::vector<taint::Alert> &alerts,
 }
 
 TaintOutcome
-runTaint(const synth::GeneratedFirmware &fw)
+runTaint(const synth::GeneratedFirmware &fw,
+         const core::PipelineConfig &config)
+{
+    const core::FitsPipeline pipeline(config);
+    return taintOutcome(pipeline.analyze(fw.bytes), fw.truth);
+}
+
+TaintOutcome
+taintOutcome(const core::PipelineArtifact &artifact,
+             const synth::GroundTruth &truth)
 {
     TaintOutcome outcome;
 
-    // Stage 1 (shared): unpack and select.
-    auto unpacked = fw::unpackFirmware(fw.bytes);
-    if (!unpacked) {
-        outcome.error = unpacked.errorMessage();
+    // Stage-1 failures have nothing to run the engines on. An
+    // inference-stage failure still does: the engines run with the
+    // classical sources alone (the ranking is simply empty).
+    if (!artifact.hasAnalysis()) {
+        outcome.error = artifact.error;
         return outcome;
     }
-    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
-    if (!target) {
-        outcome.error = target.errorMessage();
-        return outcome;
-    }
+    const analysis::ProgramAnalysis &pa = *artifact.analysis;
 
-    // One whole-program analysis shared by inference and all engines.
-    const analysis::LinkedProgram linked(target.value().main,
-                                         target.value().libraries);
-    const analysis::ProgramAnalysis pa =
-        analysis::ProgramAnalysis::analyze(linked);
-
-    // Infer and "verify" ITSs: the top-3 candidates that ground truth
-    // confirms (the manual-verification step of §4.1).
-    const core::BehaviorAnalyzer analyzer;
-    const core::BehaviorRepr behavior = analyzer.analyze(pa);
-    const core::InferenceResult inference = core::inferIts(behavior);
-
+    // "Verify" the inferred ITSs: the top-3 candidates that ground
+    // truth confirms (the manual-verification step of §4.1).
     std::vector<taint::TaintSource> itsSources;
     const std::size_t considered =
-        std::min<std::size_t>(3, inference.ranking.size());
+        std::min<std::size_t>(3, artifact.inference.ranking.size());
     for (std::size_t i = 0; i < considered; ++i) {
-        const ir::Addr entry = inference.ranking[i].entry;
-        if (std::find(fw.truth.itsFunctions.begin(),
-                      fw.truth.itsFunctions.end(),
-                      entry) != fw.truth.itsFunctions.end()) {
+        const ir::Addr entry = artifact.inference.ranking[i].entry;
+        if (std::find(truth.itsFunctions.begin(),
+                      truth.itsFunctions.end(),
+                      entry) != truth.itsFunctions.end()) {
             itsSources.push_back(taint::TaintSource::its(
                 entry, support::hex(entry)));
         }
@@ -173,26 +176,26 @@ runTaint(const synth::GeneratedFirmware &fw)
 
     {
         const auto report = karonte.run(pa, cts);
-        outcome.karonte = scoreReport(report.alerts, fw.truth,
+        outcome.karonte = scoreReport(report.alerts, truth,
                                       report.analysisMs,
                                       &outcome.karonteBugs);
     }
     {
         const auto report = karonte.run(pa, ctsPlusIts);
         outcome.karonteIts = scoreReport(report.filteredAlerts(),
-                                         fw.truth, report.analysisMs,
+                                         truth, report.analysisMs,
                                          &outcome.karonteItsBugs);
     }
     {
         const auto report = sta.run(pa, cts);
-        outcome.sta = scoreReport(report.alerts, fw.truth,
+        outcome.sta = scoreReport(report.alerts, truth,
                                   report.analysisMs,
                                   &outcome.staBugs);
     }
     {
         const auto report = sta.run(pa, ctsPlusIts);
         outcome.staIts = scoreReport(report.filteredAlerts(),
-                                     fw.truth, report.analysisMs,
+                                     truth, report.analysisMs,
                                      &outcome.staItsBugs);
     }
 

@@ -42,6 +42,15 @@ struct InferenceOutcome
 InferenceOutcome runInference(const synth::GeneratedFirmware &fw,
                               const core::PipelineConfig &config = {});
 
+/**
+ * Score an already-computed pipeline artifact as an InferenceOutcome.
+ * Lets inference- and taint-side evaluation share one per-sample
+ * analysis instead of re-running unpack/select/behavior per consumer.
+ */
+InferenceOutcome inferenceOutcome(const core::PipelineArtifact &artifact,
+                                  const synth::SampleSpec &spec,
+                                  const synth::GroundTruth &truth);
+
 /** 1-based rank of the first true ITS in a ranking (-1 if none). */
 int rankOfFirstIts(const std::vector<core::RankedFunction> &ranking,
                    const synth::GroundTruth &truth);
@@ -102,7 +111,17 @@ struct TaintOutcome
  * with CTS or CTS+ITS sources. ITS-sourced runs apply the §4.3
  * system-data string filter.
  */
-TaintOutcome runTaint(const synth::GeneratedFirmware &fw);
+TaintOutcome runTaint(const synth::GeneratedFirmware &fw,
+                      const core::PipelineConfig &config = {});
+
+/**
+ * The four Table 5 engine configurations evaluated against an
+ * already-computed pipeline artifact (no unpack/select/behavior
+ * re-run). Engines still execute when only the inference stage failed
+ * — they then run with classical sources alone, as before.
+ */
+TaintOutcome taintOutcome(const core::PipelineArtifact &artifact,
+                          const synth::GroundTruth &truth);
 
 /** Score a taint report against ground truth. */
 EngineStats scoreReport(const std::vector<taint::Alert> &alerts,

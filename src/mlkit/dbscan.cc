@@ -75,8 +75,14 @@ dbscan(const Matrix &points, const DbscanConfig &config)
             result.labels[q] = cluster;
             auto qNeighbors = regionQuery(points, q, config);
             if (qNeighbors.size() >= config.minPts) {
-                for (std::size_t r : qNeighbors)
-                    seeds.push_back(r);
+                // Only unvisited and noise points can still change
+                // label; re-enqueueing cluster-assigned neighbors is a
+                // no-op on pop but grows the deque O(n^2) on dense
+                // blobs, so skip them at push time.
+                for (std::size_t r : qNeighbors) {
+                    if (result.labels[r] < 0)
+                        seeds.push_back(r);
+                }
             }
         }
         ++cluster;

@@ -31,11 +31,21 @@ void
 Logger::log(LogLevel level, std::string_view component,
             std::string_view message)
 {
-    if (level < level_)
+    if (level < level_.load(std::memory_order_relaxed))
         return;
-    std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
-                 static_cast<int>(component.size()), component.data(),
-                 static_cast<int>(message.size()), message.data());
+    // Render the whole record first so it reaches stderr as a single
+    // write; the mutex keeps records from different threads ordered.
+    std::string line;
+    line.reserve(component.size() + message.size() + 16);
+    line += '[';
+    line += levelName(level);
+    line += "] ";
+    line.append(component.data(), component.size());
+    line += ": ";
+    line.append(message.data(), message.size());
+    line += '\n';
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void

@@ -1,6 +1,8 @@
 #ifndef FITS_SUPPORT_LOGGING_HH_
 #define FITS_SUPPORT_LOGGING_HH_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -14,6 +16,10 @@ enum class LogLevel { Debug, Info, Warn, Error };
  *
  * The library is silent by default (Warn threshold) so that bench binaries
  * can print clean tables; examples raise the level to Info for narration.
+ *
+ * Thread-safe: the threshold is atomic and each record is rendered into
+ * one buffer and emitted as a single write under a mutex, so concurrent
+ * workers never interleave characters within a line.
  */
 class Logger
 {
@@ -22,8 +28,17 @@ class Logger
     static Logger &instance();
 
     /** Set the minimum level that is emitted. */
-    void setLevel(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
+    void
+    setLevel(LogLevel level)
+    {
+        level_.store(level, std::memory_order_relaxed);
+    }
+
+    LogLevel
+    level() const
+    {
+        return level_.load(std::memory_order_relaxed);
+    }
 
     /** Emit one line if level passes the threshold. */
     void log(LogLevel level, std::string_view component,
@@ -31,7 +46,8 @@ class Logger
 
   private:
     Logger() = default;
-    LogLevel level_ = LogLevel::Warn;
+    std::atomic<LogLevel> level_{LogLevel::Warn};
+    std::mutex writeMutex_;
 };
 
 /** Convenience wrappers; component names the emitting subsystem. */

@@ -1,0 +1,160 @@
+#include "thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace fits::support {
+
+std::size_t
+hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t
+resolveJobs(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("FITS_JOBS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    return hardwareJobs();
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    const std::size_t n = resolveJobs(workers);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+std::size_t
+ThreadPool::uncaughtExceptions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return uncaught_;
+}
+
+std::string
+ThreadPool::firstExceptionMessage() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return firstError_;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stop_ set and nothing left to run
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++inFlight_;
+        lock.unlock();
+
+        std::string error;
+        bool threw = false;
+        try {
+            task();
+        } catch (const std::exception &e) {
+            threw = true;
+            error = e.what();
+        } catch (...) {
+            threw = true;
+            error = "unknown exception";
+        }
+
+        lock.lock();
+        --inFlight_;
+        if (threw) {
+            ++uncaught_;
+            if (firstError_.empty())
+                firstError_ = error.empty() ? "exception" : error;
+        }
+        if (queue_.empty() && inFlight_ == 0)
+            idle_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t jobs, std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstException;
+    std::mutex exceptionMutex;
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(exceptionMutex);
+                if (!firstException)
+                    firstException = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    const std::size_t spawned = std::min(jobs, n) - 1;
+    threads.reserve(spawned);
+    for (std::size_t t = 0; t < spawned; ++t)
+        threads.emplace_back(drain);
+    drain(); // the calling thread is worker #0
+    for (auto &thread : threads)
+        thread.join();
+
+    if (firstException)
+        std::rethrow_exception(firstException);
+}
+
+} // namespace fits::support

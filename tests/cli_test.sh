@@ -35,6 +35,12 @@ grep -q "GET(r0)" "$DIR/disasm.out"
 "$FITS" score "$IMG" > "$DIR/score.out"
 grep -q "top-3 hit" "$DIR/score.out"
 
+# Parallel corpus evaluation honors FITS_JOBS and reports totals.
+FITS_JOBS=2 "$FITS" corpus > "$DIR/corpus.out"
+grep -q "2 worker threads" "$DIR/corpus.out"
+grep -q "Overall" "$DIR/corpus.out"
+grep -q "wall clock" "$DIR/corpus.out"
+
 # Error paths exit non-zero.
 if "$FITS" info /nonexistent.fwimg 2> /dev/null; then
     echo "expected failure on a missing file" >&2

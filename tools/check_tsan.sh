@@ -1,0 +1,21 @@
+#!/bin/sh
+# Build the test suite under ThreadSanitizer and run the concurrency
+# tests with several workers. Any data race fails the run (TSan exits
+# non-zero via halt_on_error handling of its report count).
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -e
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-tsan"}
+
+cmake -B "$BUILD" -S "$ROOT" -DFITS_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
+
+# Exercise the parallel machinery specifically: the thread pool, the
+# corpus runner fan-out, the parallel BFV stage, and the logger.
+TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
+    --gtest_filter='ThreadPool.*:ParallelFor.*:ResolveJobs.*:CorpusRunner.*:BehaviorAnalyzer.*:Logger.*'
+
+echo "tsan: no data races detected"

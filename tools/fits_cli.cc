@@ -14,9 +14,14 @@
  *   fits taint <image.fwimg> [--engine sta|karonte] [--its ADDR]...
  *       Run a taint engine with the classical sources plus any given
  *       intermediate sources and print the alerts.
+ *   fits corpus [--jobs N] [--taint]
+ *       Evaluate the standard 59-sample corpus in parallel (per-vendor
+ *       precision; with --taint also the four engine configurations,
+ *       from one shared analysis pass per sample).
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +32,8 @@
 #include "analysis/program_analysis.hh"
 #include "core/anchors.hh"
 #include "core/pipeline.hh"
+#include "eval/corpus_runner.hh"
+#include "eval/tables.hh"
 #include "firmware/fwimg.hh"
 #include "firmware/select.hh"
 #include "ir/printer.hh"
@@ -53,7 +60,9 @@ usage()
         "  fits taint <image.fwimg> [--engine sta|karonte] "
         "[--its ADDR]...\n"
         "  fits disasm <image.fwimg> <function-addr>\n"
-        "  fits score <image.fwimg>   (needs <image>.truth sidecar)\n");
+        "  fits score <image.fwimg>   (needs <image>.truth sidecar)\n"
+        "  fits corpus [--jobs N] [--taint]   (FITS_JOBS also sets "
+        "N)\n");
     return 2;
 }
 
@@ -437,14 +446,124 @@ cmdDisasm(const std::string &path, const std::string &addrText)
     return 0;
 }
 
+int
+cmdCorpus(int argc, char **argv)
+{
+    std::size_t jobs = 0;
+    bool withTaint = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::strtoul(argv[++i], nullptr, 0);
+        } else if (arg == "--taint") {
+            withTaint = true;
+        } else {
+            return usage();
+        }
+    }
+
+    eval::CorpusRunner::Config config;
+    config.jobs = jobs;
+    const eval::CorpusRunner runner(config);
+    const auto corpus = synth::generateStandardCorpus();
+    std::printf("evaluating %zu samples with %zu worker threads...\n\n",
+                corpus.size(), runner.jobs());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<eval::CorpusRunner::FullOutcome> outcomes;
+    if (withTaint) {
+        outcomes = runner.runFull(corpus);
+    } else {
+        auto inference = runner.runInference(corpus);
+        outcomes.resize(inference.size());
+        for (std::size_t i = 0; i < inference.size(); ++i)
+            outcomes[i].inference = std::move(inference[i]);
+    }
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Per-vendor inference precision.
+    const std::vector<std::string> vendorOrder = {
+        "NETGEAR", "D-Link", "TP-Link", "Tenda", "Cisco"};
+    eval::TablePrinter table(
+        {"Vendor", "#FW", "Top-1", "Top-2", "Top-3"});
+    eval::PrecisionStats overall;
+    for (const auto &vendor : vendorOrder) {
+        eval::PrecisionStats stats;
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+            if (corpus[i].spec.profile.vendor != vendor)
+                continue;
+            const auto &outcome = outcomes[i].inference;
+            stats.addRank(outcome.ok ? outcome.firstItsRank : -1);
+        }
+        overall.total += stats.total;
+        overall.top1 += stats.top1;
+        overall.top2 += stats.top2;
+        overall.top3 += stats.top3;
+        table.addRow({vendor, std::to_string(stats.total),
+                      eval::percent(stats.p1()),
+                      eval::percent(stats.p2()),
+                      eval::percent(stats.p3())});
+    }
+    table.addSeparator();
+    table.addRow({"Overall", std::to_string(overall.total),
+                  eval::percent(overall.p1()),
+                  eval::percent(overall.p2()),
+                  eval::percent(overall.p3())});
+    table.print();
+
+    if (withTaint) {
+        eval::EngineStats karonte, karonteIts, sta, staIts;
+        int analyzed = 0;
+        for (const auto &outcome : outcomes) {
+            if (!outcome.taint.ok)
+                continue;
+            ++analyzed;
+            karonte += outcome.taint.karonte;
+            karonteIts += outcome.taint.karonteIts;
+            sta += outcome.taint.sta;
+            staIts += outcome.taint.staIts;
+        }
+        std::printf("\ntaint engines (%d analyzable samples, one "
+                    "shared analysis per sample):\n",
+                    analyzed);
+        eval::TablePrinter engines(
+            {"", "Karonte", "Karonte-ITS", "STA", "STA-ITS"});
+        engines.addRow({"Alerts", std::to_string(karonte.alerts),
+                        std::to_string(karonteIts.alerts),
+                        std::to_string(sta.alerts),
+                        std::to_string(staIts.alerts)});
+        engines.addRow({"Bugs", std::to_string(karonte.bugs),
+                        std::to_string(karonteIts.bugs),
+                        std::to_string(sta.bugs),
+                        std::to_string(staIts.bugs)});
+        engines.addRow(
+            {"FP rate", eval::percent(karonte.falsePositiveRate()),
+             eval::percent(karonteIts.falsePositiveRate()),
+             eval::percent(sta.falsePositiveRate()),
+             eval::percent(staIts.falsePositiveRate())});
+        engines.print();
+    }
+
+    std::printf("\nwall clock: %.1f ms with %zu jobs\n", wallMs,
+                runner.jobs());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     const std::string command = argv[1];
+    if (command == "corpus")
+        return cmdCorpus(argc - 2, argv + 2);
+    if (argc < 3)
+        return usage();
     if (command == "gen")
         return cmdGen(argc - 2, argv + 2);
     if (command == "info")
