@@ -19,6 +19,7 @@
 
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
 
@@ -81,18 +82,19 @@ main()
 
     // ---- A: vendor mode ---------------------------------------------
     std::printf("A. Symbol-name prior (Discussion §5 vendor mode)\n");
+    const auto strippedStats = rerank(stripped, core::InferConfig{});
+    core::InferConfig namesOn;
+    namesOn.useSymbolNames = true;
+    const auto vendorPriorStats = rerank(vendor, namesOn);
     {
         eval::TablePrinter table({"Configuration", "Top-1", "Top-2",
                                   "Top-3"});
         addRow(table, "stripped (third-party analyst)",
-               rerank(stripped, core::InferConfig{}));
+               strippedStats);
         core::InferConfig namesOff;
         addRow(table, "unstripped, prior unused",
                rerank(vendor, namesOff));
-        core::InferConfig namesOn;
-        namesOn.useSymbolNames = true;
-        addRow(table, "unstripped + symbol prior",
-               rerank(vendor, namesOn));
+        addRow(table, "unstripped + symbol prior", vendorPriorStats);
         table.print();
         std::printf("The prior pushes websGetVar-style names above "
                     "nvram/cfg look-alikes, as the\npaper predicts "
@@ -171,5 +173,13 @@ main()
                     "spans the behaviour profile;\nthe full set "
                     "mostly adds robustness.\n");
     }
+
+    obs::BenchRecord record("ablation_design");
+    record.add("samples", static_cast<double>(specs.size()));
+    record.add("stripped_top1", strippedStats.p1());
+    record.add("stripped_top3", strippedStats.p3());
+    record.add("vendor_prior_top1", vendorPriorStats.p1());
+    record.add("vendor_prior_top3", vendorPriorStats.p3());
+    record.write();
     return 0;
 }

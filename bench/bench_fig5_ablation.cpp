@@ -12,6 +12,7 @@
 #include "core/bfv.hh"
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
 
@@ -54,8 +55,8 @@ main()
 
     eval::TablePrinter table(
         {"Variant", "Removed feature", "Top-1", "Top-2", "Top-3"});
+    const auto full = rerank(outcomes, core::InferConfig{});
     {
-        const auto full = rerank(outcomes, core::InferConfig{});
         table.addRow({"BFV", "-", eval::percent(full.p1()),
                       eval::percent(full.p2()),
                       eval::percent(full.p3())});
@@ -93,5 +94,12 @@ main()
                 "\"number of callers\" shows a\nweak signal (21%% "
                 "top-3), and boolean features alone are "
                 "meaningless.\n");
+
+    obs::BenchRecord record("fig5_ablation");
+    record.add("samples", static_cast<double>(corpus.size()));
+    record.add("full_bfv_top1", full.p1());
+    record.add("full_bfv_top2", full.p2());
+    record.add("full_bfv_top3", full.p3());
+    record.write();
     return 0;
 }

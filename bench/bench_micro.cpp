@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/program_analysis.hh"
+#include "obs/bench_record.hh"
 #include "binary/fbin.hh"
 #include "core/behavior.hh"
 #include "core/infer.hh"
@@ -187,4 +188,17 @@ BENCHMARK(BM_Dbscan);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    const std::size_t run = benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    fits::obs::BenchRecord record("micro");
+    record.add("benchmarks_run", static_cast<double>(run));
+    record.write();
+    return 0;
+}

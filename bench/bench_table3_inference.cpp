@@ -11,6 +11,7 @@
 
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "synth/firmware_gen.hh"
 
 namespace {
@@ -129,5 +130,14 @@ main()
         std::printf("  - %s\n", f.c_str());
     std::printf("\n%zu failing samples out of %d\n", failures.size(),
                 overall.total);
+
+    obs::BenchRecord record("table3_inference");
+    record.add("samples", static_cast<double>(overall.total));
+    record.add("failures", static_cast<double>(failures.size()));
+    record.add("top1", overall.p1());
+    record.add("top2", overall.p2());
+    record.add("top3", overall.p3());
+    record.add("avg_analysis_ms", overallMs / overall.total);
+    record.write();
     return 0;
 }

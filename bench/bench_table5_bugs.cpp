@@ -13,6 +13,7 @@
 
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "synth/firmware_gen.hh"
 
 namespace {
@@ -183,5 +184,26 @@ main()
                     fw.spec.name.c_str(), deepBugs);
         break;
     }
+
+    obs::BenchRecord record("table5_bugs");
+    record.add("samples", static_cast<double>(total.count));
+    record.add("karonte_alerts",
+               static_cast<double>(total.karonte.alerts));
+    record.add("karonte_bugs", static_cast<double>(total.karonte.bugs));
+    record.add("karonte_its_alerts",
+               static_cast<double>(total.karonteIts.alerts));
+    record.add("karonte_its_bugs",
+               static_cast<double>(total.karonteIts.bugs));
+    record.add("sta_alerts", static_cast<double>(total.sta.alerts));
+    record.add("sta_bugs", static_cast<double>(total.sta.bugs));
+    record.add("sta_its_alerts",
+               static_cast<double>(total.staIts.alerts));
+    record.add("sta_its_bugs", static_cast<double>(total.staIts.bugs));
+    record.add("sta_only_bugs", static_cast<double>(staOnlyCount));
+    record.add("karonte_only_bugs",
+               static_cast<double>(karonteOnlyCount));
+    record.add("karonte_its_superset", karonteSuperset ? 1.0 : 0.0);
+    record.add("sta_its_superset", staSuperset ? 1.0 : 0.0);
+    record.write();
     return 0;
 }

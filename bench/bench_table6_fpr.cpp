@@ -10,6 +10,7 @@
 
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "synth/firmware_gen.hh"
 
 int
@@ -75,5 +76,14 @@ main()
                 "which is why STA-ITS ends up *below* STA despite "
                 "issuing more alerts.\n",
                 filteredSystemData);
+
+    obs::BenchRecord record("table6_fpr");
+    record.add("karonte_fpr", karonte.falsePositiveRate());
+    record.add("karonte_its_fpr", karonteIts.falsePositiveRate());
+    record.add("sta_fpr", sta.falsePositiveRate());
+    record.add("sta_its_fpr", staIts.falsePositiveRate());
+    record.add("system_data_sites",
+               static_cast<double>(filteredSystemData));
+    record.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "synth/firmware_gen.hh"
 
 int
@@ -65,5 +66,13 @@ main()
                 "parameter flow, and call-site string features, so "
                 "they\ncannot separate an input getter from any other "
                 "loop-over-memory function.\n");
+
+    obs::BenchRecord record("table7_representations");
+    const char *names[3] = {"augmented_cfg", "attributed_cfg", "bfv"};
+    for (int r = 0; r < 3; ++r) {
+        record.add(std::string(names[r]) + "_top1", stats[r].p1());
+        record.add(std::string(names[r]) + "_top3", stats[r].p3());
+    }
+    record.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "eval/corpus_runner.hh"
 #include "eval/tables.hh"
+#include "obs/bench_record.hh"
 #include "synth/firmware_gen.hh"
 
 namespace {
@@ -100,5 +101,14 @@ main()
                 "PCA/standardize/normalize stay below 10%% top-3;\n"
                 "only the clustering + complexity-filter stage "
                 "recovers high precision.\n");
+
+    obs::BenchRecord record("table8_scoring");
+    record.add("euclidean_top3", stats[0].p3());
+    record.add("manhattan_top3", stats[1].p3());
+    record.add("pearson_top3", stats[2].p3());
+    record.add("cosine_top1", stats[3].p1());
+    record.add("cosine_top2", stats[3].p2());
+    record.add("cosine_top3", stats[3].p3());
+    record.write();
     return 0;
 }

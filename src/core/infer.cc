@@ -6,6 +6,7 @@
 #include "core/semantic.hh"
 #include "mlkit/pca.hh"
 #include "mlkit/scaling.hh"
+#include "obs/metrics.hh"
 
 namespace fits::core {
 
@@ -113,6 +114,7 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
 
     // ---- Candidate selection ---------------------------------------
     // Indices into repr.customFns.
+    obs::ScopedTimer clusterTimer("cluster");
     std::vector<std::size_t> candidates;
 
     // Scoring may happen in a transformed space for the §4.5
@@ -227,8 +229,10 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
     }
 
     result.numCandidates = candidates.size();
+    result.clusterMs = clusterTimer.stopMs();
 
     // ---- Scoring (Eq. 2): mean similarity to the anchor matrix -----
+    obs::ScopedTimer rankTimer("rank");
     std::vector<RankedFunction> ranked;
     ranked.reserve(candidates.size());
     for (std::size_t member : candidates) {
@@ -259,6 +263,7 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
     if (ranked.size() > config.maxRanked)
         ranked.resize(config.maxRanked);
     result.ranking = std::move(ranked);
+    result.rankMs = rankTimer.stopMs();
 
     return result;
 }

@@ -1,22 +1,11 @@
 #include "pipeline.hh"
 
-#include <chrono>
-
+#include "obs/metrics.hh"
 #include "support/logging.hh"
 
 namespace fits::core {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-msSince(Clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() -
-                                                     start)
-        .count();
-}
 
 /** Flatten an artifact into the plain-data result the harness keeps. */
 PipelineResult
@@ -41,6 +30,34 @@ resultFromArtifact(PipelineArtifact artifact)
     return result;
 }
 
+const char *
+failureStageName(PipelineResult::FailureStage stage)
+{
+    switch (stage) {
+      case PipelineResult::FailureStage::None:      return "none";
+      case PipelineResult::FailureStage::Unpack:    return "unpack";
+      case PipelineResult::FailureStage::Select:    return "select";
+      case PipelineResult::FailureStage::Inference: return "inference";
+    }
+    return "?";
+}
+
+void
+recordRunCounters(const PipelineArtifact &artifact)
+{
+    if (!obs::enabled())
+        return;
+    obs::addCounter("pipeline.runs");
+    if (artifact.ok) {
+        obs::addCounter("pipeline.ok");
+        obs::addCounter("pipeline.functions",
+                        artifact.numFunctions);
+    } else {
+        obs::addCounter(std::string("pipeline.failures.") +
+                        failureStageName(artifact.failureStage));
+    }
+}
+
 } // namespace
 
 FitsPipeline::FitsPipeline(PipelineConfig config)
@@ -63,39 +80,53 @@ FitsPipeline::runOnTarget(fw::AnalysisTarget target) const
 PipelineArtifact
 FitsPipeline::analyze(const std::vector<std::uint8_t> &firmware) const
 {
+    obs::ScopedTimer pipelineSpan("pipeline");
     PipelineArtifact artifact;
 
     // Stage 1a: unpack.
-    auto t0 = Clock::now();
+    obs::ScopedTimer unpackTimer("unpack");
     auto unpacked = fw::unpackFirmware(firmware);
-    artifact.timings.unpackMs = msSince(t0);
+    artifact.timings.unpackMs = unpackTimer.stopMs();
     if (!unpacked) {
         artifact.failureStage = PipelineResult::FailureStage::Unpack;
         artifact.error = unpacked.errorMessage();
+        recordRunCounters(artifact);
         return artifact;
     }
 
     // Stage 1b: select the network binary and resolve libraries.
-    t0 = Clock::now();
+    obs::ScopedTimer selectTimer("select");
     auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
-    const double selectMs = msSince(t0);
+    const double selectMs = selectTimer.stopMs();
     if (!target) {
         artifact.imageInfo = unpacked.value().info;
         artifact.timings.selectMs = selectMs;
         artifact.failureStage = PipelineResult::FailureStage::Select;
         artifact.error = target.errorMessage();
+        recordRunCounters(artifact);
         return artifact;
     }
 
-    PipelineArtifact rest = analyzeTarget(target.take());
+    PipelineArtifact rest = analyzeTargetStages(target.take());
     rest.imageInfo = unpacked.value().info;
     rest.timings.unpackMs = artifact.timings.unpackMs;
     rest.timings.selectMs = selectMs;
+    recordRunCounters(rest);
     return rest;
 }
 
 PipelineArtifact
 FitsPipeline::analyzeTarget(fw::AnalysisTarget target) const
+{
+    obs::ScopedTimer pipelineSpan("pipeline");
+    PipelineArtifact artifact =
+        analyzeTargetStages(std::move(target));
+    recordRunCounters(artifact);
+    return artifact;
+}
+
+PipelineArtifact
+FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
 {
     PipelineArtifact artifact;
     artifact.target =
@@ -104,23 +135,41 @@ FitsPipeline::analyzeTarget(fw::AnalysisTarget target) const
     artifact.numFunctions = artifact.target->main.program.size();
     artifact.binaryBytes = artifact.target->main.byteSize();
 
-    // Stage 2: behavior representation (Algorithm 1). The linked view
-    // and the whole-program analysis are retained on the artifact so
-    // taint engines can reuse them without re-analyzing the binary.
-    auto t0 = Clock::now();
-    artifact.linked = std::make_unique<analysis::LinkedProgram>(
-        artifact.target->main, artifact.target->libraries);
-    artifact.analysis = std::make_unique<analysis::ProgramAnalysis>(
-        analysis::ProgramAnalysis::analyze(*artifact.linked,
-                                           config_.behavior.ucse));
-    const BehaviorAnalyzer analyzer(config_.behavior);
-    artifact.behavior = analyzer.analyze(*artifact.analysis);
-    artifact.timings.behaviorMs = msSince(t0);
+    // Stage 2: behavior representation (Algorithm 1), as three spans:
+    // lift (link the images into one view), UCSE (whole-program
+    // analysis), and BFV extraction. The linked view and the analysis
+    // are retained on the artifact so taint engines can reuse them
+    // without re-analyzing the binary.
+    {
+        obs::ScopedTimer liftTimer("lift");
+        artifact.linked = std::make_unique<analysis::LinkedProgram>(
+            artifact.target->main, artifact.target->libraries);
+        artifact.timings.liftMs = liftTimer.stopMs();
+    }
+    {
+        obs::ScopedTimer ucseTimer("ucse");
+        artifact.analysis =
+            std::make_unique<analysis::ProgramAnalysis>(
+                analysis::ProgramAnalysis::analyze(
+                    *artifact.linked, config_.behavior.ucse));
+        artifact.timings.ucseMs = ucseTimer.stopMs();
+    }
+    {
+        obs::ScopedTimer bfvTimer("bfv");
+        const BehaviorAnalyzer analyzer(config_.behavior);
+        artifact.behavior = analyzer.analyze(*artifact.analysis);
+        artifact.timings.bfvMs = bfvTimer.stopMs();
+    }
+    artifact.timings.behaviorMs = artifact.timings.liftMs +
+                                  artifact.timings.ucseMs +
+                                  artifact.timings.bfvMs;
 
     // Stage 3: inference (Algorithm 2).
-    t0 = Clock::now();
+    obs::ScopedTimer inferTimer("infer");
     artifact.inference = inferIts(artifact.behavior, config_.infer);
-    artifact.timings.inferMs = msSince(t0);
+    artifact.timings.inferMs = inferTimer.stopMs();
+    artifact.timings.clusterMs = artifact.inference.clusterMs;
+    artifact.timings.rankMs = artifact.inference.rankMs;
 
     if (!artifact.inference.ok()) {
         artifact.failureStage =

@@ -20,13 +20,27 @@ struct PipelineConfig
     InferConfig infer;
 };
 
-/** Wall-clock time of each pipeline stage, in milliseconds. */
+/**
+ * Wall-clock time of each pipeline stage, in milliseconds. These are
+ * plain-data views over the `fits::obs` span timers ("pipeline/…"):
+ * the same measurement that lands in the metrics registry is copied
+ * here so per-sample results stay self-contained.
+ */
 struct StageTimings
 {
     double unpackMs = 0.0;
     double selectMs = 0.0;
-    double behaviorMs = 0.0;
-    double inferMs = 0.0;
+    double behaviorMs = 0.0; ///< lift + UCSE + BFV extraction
+    double inferMs = 0.0;    ///< clustering + ranking
+
+    /** Sub-stages of behaviorMs ("pipeline/lift|ucse|bfv" spans). */
+    double liftMs = 0.0;
+    double ucseMs = 0.0;
+    double bfvMs = 0.0;
+
+    /** Sub-stages of inferMs ("pipeline/infer/cluster|rank" spans). */
+    double clusterMs = 0.0;
+    double rankMs = 0.0;
 
     double
     totalMs() const
@@ -135,6 +149,10 @@ class FitsPipeline
     const PipelineConfig &config() const { return config_; }
 
   private:
+    /** Stage 2+3 without the whole-run span (callers own that). */
+    PipelineArtifact analyzeTargetStages(fw::AnalysisTarget target)
+        const;
+
     PipelineConfig config_;
 };
 

@@ -53,8 +53,9 @@ CorpusRunner::runTaint(
         [&](std::size_t i) {
             return eval::runTaint(corpus[i], config_.pipeline);
         },
-        [](std::size_t, const std::string &message) {
+        [&](std::size_t i, const std::string &message) {
             TaintOutcome outcome;
+            outcome.spec = corpus[i].spec;
             outcome.error = "worker exception: " + message;
             return outcome;
         });
@@ -73,7 +74,8 @@ CorpusRunner::runFull(
             FullOutcome full;
             full.inference = inferenceOutcome(artifact, corpus[i].spec,
                                               corpus[i].truth);
-            full.taint = taintOutcome(artifact, corpus[i].truth);
+            full.taint = taintOutcome(artifact, corpus[i].spec,
+                                      corpus[i].truth);
             return full;
         },
         [&](std::size_t i, const std::string &message) {
@@ -81,6 +83,7 @@ CorpusRunner::runFull(
             full.inference.spec = corpus[i].spec;
             full.inference.truth = corpus[i].truth;
             full.inference.error = "worker exception: " + message;
+            full.taint.spec = corpus[i].spec;
             full.taint.error = full.inference.error;
             return full;
         });

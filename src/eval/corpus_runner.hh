@@ -1,12 +1,14 @@
 #ifndef FITS_EVAL_CORPUS_RUNNER_HH_
 #define FITS_EVAL_CORPUS_RUNNER_HH_
 
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "eval/harness.hh"
+#include "obs/metrics.hh"
 #include "support/thread_pool.hh"
 
 namespace fits::eval {
@@ -87,17 +89,34 @@ class CorpusRunner
     std::vector<R>
     map(std::size_t count, MakeFn &&make, FailFn &&onFailure) const
     {
+        const bool metrics = obs::enabled();
+        if (metrics) {
+            obs::setGauge("corpus.jobs", static_cast<double>(jobs_));
+            obs::addCounter("corpus.batches");
+            obs::addCounter("corpus.samples", count);
+        }
         std::vector<R> results(count);
         support::ThreadPool pool(jobs_);
         for (std::size_t i = 0; i < count; ++i) {
-            pool.submit([&results, &make, &onFailure, i] {
+            pool.submit([&results, &make, &onFailure, metrics, i] {
+                const auto start =
+                    std::chrono::steady_clock::now();
                 try {
                     results[i] = make(i);
                 } catch (const std::exception &e) {
+                    obs::addCounter("corpus.failures");
                     results[i] = onFailure(i, std::string(e.what()));
                 } catch (...) {
+                    obs::addCounter("corpus.failures");
                     results[i] =
                         onFailure(i, std::string("unknown exception"));
+                }
+                if (metrics) {
+                    obs::observe(
+                        "corpus.sample_ms",
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
                 }
             });
         }

@@ -133,14 +133,16 @@ runTaint(const synth::GeneratedFirmware &fw,
          const core::PipelineConfig &config)
 {
     const core::FitsPipeline pipeline(config);
-    return taintOutcome(pipeline.analyze(fw.bytes), fw.truth);
+    return taintOutcome(pipeline.analyze(fw.bytes), fw.spec, fw.truth);
 }
 
 TaintOutcome
 taintOutcome(const core::PipelineArtifact &artifact,
+             const synth::SampleSpec &spec,
              const synth::GroundTruth &truth)
 {
     TaintOutcome outcome;
+    outcome.spec = spec;
 
     // Stage-1 failures have nothing to run the engines on. An
     // inference-stage failure still does: the engines run with the

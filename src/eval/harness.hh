@@ -91,6 +91,10 @@ struct EngineStats
 /** The four engine configurations of Table 5 on one sample. */
 struct TaintOutcome
 {
+    /** Identity of the sample this outcome describes — populated on
+     * success AND failure paths so an errored outcome still says
+     * which sample it came from. */
+    synth::SampleSpec spec;
     bool ok = false;
     std::string error;
     EngineStats karonte;
@@ -121,6 +125,7 @@ TaintOutcome runTaint(const synth::GeneratedFirmware &fw,
  * — they then run with classical sources alone, as before.
  */
 TaintOutcome taintOutcome(const core::PipelineArtifact &artifact,
+                          const synth::SampleSpec &spec,
                           const synth::GroundTruth &truth);
 
 /** Score a taint report against ground truth. */

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.hh"
+
 namespace fits::support {
 
 std::size_t
@@ -32,7 +34,7 @@ ThreadPool::ThreadPool(std::size_t workers)
     const std::size_t n = resolveJobs(workers);
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -49,9 +51,13 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    QueuedTask queued;
+    queued.fn = std::move(task);
+    if (obs::enabled())
+        queued.enqueued = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(queued));
     }
     wake_.notify_one();
 }
@@ -79,22 +85,45 @@ ThreadPool::firstExceptionMessage() const
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t workerIndex)
 {
+    // Lazily-resolved per-worker instruments (only touched while
+    // metrics collection is enabled; the registry hands out stable
+    // references, so resolving once per worker is safe).
+    obs::Counter *taskCounter = nullptr;
+
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
         if (queue_.empty())
             return; // stop_ set and nothing left to run
-        std::function<void()> task = std::move(queue_.front());
+        QueuedTask task = std::move(queue_.front());
         queue_.pop_front();
         ++inFlight_;
         lock.unlock();
 
+        if (obs::enabled()) {
+            if (taskCounter == nullptr) {
+                taskCounter = &obs::Registry::instance().counter(
+                    "threadpool.worker." +
+                    std::to_string(workerIndex) + ".tasks");
+            }
+            taskCounter->add(1);
+            obs::addCounter("threadpool.tasks");
+            if (task.enqueued.time_since_epoch().count() != 0) {
+                obs::observe(
+                    "threadpool.queue_wait_ms",
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() -
+                        task.enqueued)
+                        .count());
+            }
+        }
+
         std::string error;
         bool threw = false;
         try {
-            task();
+            task.fn();
         } catch (const std::exception &e) {
             threw = true;
             error = e.what();
@@ -102,6 +131,8 @@ ThreadPool::workerLoop()
             threw = true;
             error = "unknown exception";
         }
+        if (threw)
+            obs::addCounter("threadpool.uncaught_exceptions");
 
         lock.lock();
         --inFlight_;

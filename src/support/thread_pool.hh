@@ -1,6 +1,7 @@
 #ifndef FITS_SUPPORT_THREAD_POOL_HH_
 #define FITS_SUPPORT_THREAD_POOL_HH_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -71,12 +72,20 @@ class ThreadPool
                             const std::function<void(std::size_t)> &body);
 
   private:
-    void workerLoop();
+    /** A queued task plus its enqueue time (stamped only while
+     * metrics collection is enabled; zero otherwise). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void workerLoop(std::size_t workerIndex);
 
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable idle_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::vector<std::thread> workers_;
     std::size_t inFlight_ = 0;
     std::size_t uncaught_ = 0;

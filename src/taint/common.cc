@@ -101,6 +101,23 @@ isSystemDataKey(const std::string &key)
     return set.find(key) != set.end();
 }
 
+void
+sortAlerts(std::vector<Alert> &alerts)
+{
+    std::sort(alerts.begin(), alerts.end(),
+              [](const Alert &a, const Alert &b) {
+                  if (a.imageIndex != b.imageIndex)
+                      return a.imageIndex < b.imageIndex;
+                  if (a.sinkSite != b.sinkSite)
+                      return a.sinkSite < b.sinkSite;
+                  if (a.sinkName != b.sinkName)
+                      return a.sinkName < b.sinkName;
+                  if (a.labelMask != b.labelMask)
+                      return a.labelMask < b.labelMask;
+                  return a.inFunction < b.inFunction;
+              });
+}
+
 std::vector<Alert>
 TaintReport::filteredAlerts() const
 {

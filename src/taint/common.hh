@@ -90,7 +90,18 @@ struct Alert
     bool hasUserDataLabel = false;
     /** Function (entry address) containing the sink. */
     ir::Addr inFunction = 0;
+    /** Index of the image (main binary / library) the sink lives in;
+     * part of the deterministic report ordering. */
+    std::size_t imageIndex = 0;
 };
+
+/**
+ * Order alerts by the stable key (image, sink address, sink name,
+ * label mask, containing function) so reports — and therefore
+ * corpus-level diffs — are reproducible regardless of container
+ * iteration order or worker count.
+ */
+void sortAlerts(std::vector<Alert> &alerts);
 
 /** What one taint label stands for. */
 struct LabelInfo

@@ -1,12 +1,12 @@
 #include "karonte.hh"
 
-#include <chrono>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/ucse.hh"
+#include "obs/metrics.hh"
 #include "taint/labels.hh"
 
 namespace fits::taint {
@@ -98,6 +98,9 @@ struct Engine
 
     std::map<std::pair<std::size_t, Addr>, Alert> alerts;
     std::size_t totalSteps = 0;
+    /** Paths pushed onto an exploration stack (branch and call-target
+     * forks) — the path-explosion signal the metrics export. */
+    std::size_t forkedPaths = 0;
     /** Current whole-binary budget; raised for the ITS phase. */
     std::size_t budgetLimit = 0;
     bool budgetExhausted = false;
@@ -186,6 +189,7 @@ struct Engine
             alert.vclass = sink.vclass;
             alert.labelMask = mask;
             alert.inFunction = pa.linked->fn(inFn).fn->entry;
+            alert.imageIndex = key.first;
             alert.hasUserDataLabel = labelTable.hasUserData(mask);
             alerts.emplace(key, std::move(alert));
         } else {
@@ -402,6 +406,7 @@ struct Engine
                         forked.frames.back().block = takenIdx;
                         forked.frames.back().stmt = 0;
                         stack.push_back(std::move(forked));
+                        ++forkedPaths;
                     }
                     ++frame.stmt;
                 }
@@ -574,6 +579,7 @@ struct Engine
                     pa.fn(callee.fn).fn->numTmps, Value{});
                 forked.frames.push_back(std::move(callee));
                 stack.push_back(std::move(forked));
+                ++forkedPaths;
             }
             Frame callee;
             callee.fn = descendTargets[0].second;
@@ -605,7 +611,7 @@ TaintReport
 KaronteEngine::run(const ProgramAnalysis &pa,
                    const std::vector<TaintSource> &sources) const
 {
-    const auto start = std::chrono::steady_clock::now();
+    obs::ScopedTimer runSpan("taint/karonte");
     Engine engine(pa, config_, sources);
 
     // Roots: functions containing a source site (CTS import call or
@@ -675,6 +681,8 @@ KaronteEngine::run(const ProgramAnalysis &pa,
             enqueue(site.caller);
     }
     runPhases();
+    const std::size_t phaseASteps = engine.totalSteps;
+    const bool phaseAExhausted = engine.budgetExhausted;
 
     // Phase B: ITS roots under the extra budget slice (relative to
     // what phase A actually consumed — the vanilla cap is a limit,
@@ -696,12 +704,25 @@ KaronteEngine::run(const ProgramAnalysis &pa,
     report.labels = engine.labelTable.labels;
     for (auto &[key, alert] : engine.alerts)
         report.alerts.push_back(std::move(alert));
+    sortAlerts(report.alerts);
     report.steps = engine.totalSteps;
     report.budgetExhausted = engine.budgetExhausted;
-    report.analysisMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    report.analysisMs = runSpan.stopMs();
+
+    if (obs::enabled()) {
+        obs::addCounter("taint.karonte.runs");
+        obs::addCounter("taint.karonte.phase_a_steps", phaseASteps);
+        obs::addCounter("taint.karonte.phase_b_steps",
+                        engine.totalSteps - phaseASteps);
+        obs::addCounter("taint.karonte.forked_paths",
+                        engine.forkedPaths);
+        obs::addCounter("taint.karonte.alerts",
+                        report.alerts.size());
+        if (phaseAExhausted)
+            obs::addCounter("taint.karonte.phase_a_exhausted");
+        if (engine.budgetExhausted)
+            obs::addCounter("taint.karonte.budget_exhausted");
+    }
     return report;
 }
 

@@ -1,12 +1,12 @@
 #include "sta.hh"
 
-#include <chrono>
 #include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.hh"
 #include "taint/labels.hh"
 
 namespace fits::taint {
@@ -174,6 +174,7 @@ struct Engine
             alert.vclass = sink.vclass;
             alert.labelMask = mask;
             alert.inFunction = pa.linked->fn(inFn).fn->entry;
+            alert.imageIndex = key.first;
             alert.hasUserDataLabel = labelTable.hasUserData(mask);
             alerts.emplace(key, std::move(alert));
         } else {
@@ -479,7 +480,7 @@ TaintReport
 StaEngine::run(const ProgramAnalysis &pa,
                const std::vector<TaintSource> &sources) const
 {
-    const auto start = std::chrono::steady_clock::now();
+    obs::ScopedTimer runSpan("taint/sta");
 
     Engine engine(pa, config_, sources);
 
@@ -516,6 +517,8 @@ StaEngine::run(const ProgramAnalysis &pa,
         }
     }
 
+    const std::size_t fixpointSteps = engine.steps;
+
     // Collection sweep: state is at (or near) fixpoint; record alerts.
     engine.recording = true;
     std::deque<FnId> dummy;
@@ -527,12 +530,21 @@ StaEngine::run(const ProgramAnalysis &pa,
     report.labels = engine.labelTable.labels;
     for (auto &[key, alert] : engine.alerts)
         report.alerts.push_back(std::move(alert));
+    sortAlerts(report.alerts);
     report.steps = engine.steps;
     report.budgetExhausted = exhausted;
-    report.analysisMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    report.analysisMs = runSpan.stopMs();
+
+    if (obs::enabled()) {
+        obs::addCounter("taint.sta.runs");
+        obs::addCounter("taint.sta.fixpoint_steps", fixpointSteps);
+        obs::addCounter("taint.sta.sweep_steps",
+                        engine.steps - fixpointSteps);
+        obs::addCounter("taint.sta.functions_processed", processed);
+        obs::addCounter("taint.sta.alerts", report.alerts.size());
+        if (exhausted)
+            obs::addCounter("taint.sta.budget_exhausted");
+    }
     return report;
 }
 

@@ -40,6 +40,36 @@ FITS_JOBS=2 "$FITS" corpus > "$DIR/corpus.out"
 grep -q "2 worker threads" "$DIR/corpus.out"
 grep -q "Overall" "$DIR/corpus.out"
 grep -q "wall clock" "$DIR/corpus.out"
+grep -q "failed samples:" "$DIR/corpus.out"
+
+# --dir evaluates on-disk images; --metrics-out writes a JSON snapshot
+# with the instrumented pipeline stages and taint counters.
+mkdir "$DIR/corpus"
+cp "$IMG" "$DIR/corpus/"
+"$FITS" corpus --dir "$DIR/corpus" --taint --jobs 2 \
+    --metrics-out "$DIR/metrics.json" > "$DIR/corpus_dir.out"
+test -s "$DIR/metrics.json"
+for key in pipeline/unpack pipeline/select pipeline/lift \
+           pipeline/ucse pipeline/bfv pipeline/infer \
+           taint/karonte taint/sta \
+           taint.karonte.phase_a_steps taint.sta.fixpoint_steps \
+           corpus.samples threadpool.tasks; do
+    grep -q "\"$key\"" "$DIR/metrics.json" || {
+        echo "metrics.json is missing $key" >&2
+        exit 1
+    }
+done
+
+# A corpus where every sample fails must exit non-zero and say so.
+mkdir "$DIR/badcorpus"
+echo "not a firmware image" > "$DIR/badcorpus/garbage.fwimg"
+if "$FITS" corpus --dir "$DIR/badcorpus" > "$DIR/allfail.out" \
+        2> "$DIR/allfail.err"; then
+    echo "expected failure when every sample fails" >&2
+    exit 1
+fi
+grep -q "failed samples: 1/1" "$DIR/allfail.out"
+grep -q "garbage.fwimg" "$DIR/allfail.err"
 
 # Error paths exit non-zero.
 if "$FITS" info /nonexistent.fwimg 2> /dev/null; then

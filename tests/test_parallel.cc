@@ -246,6 +246,28 @@ TEST(CorpusRunner, RunFullSharesOneAnalysisPerSample)
     }
 }
 
+TEST(CorpusRunner, TaintOutcomesCarrySampleIdentityEvenOnFailure)
+{
+    // Regression: the runTaint/runFull failure paths used to discard
+    // the sample index, so an errored TaintOutcome could not be traced
+    // back to the sample that produced it.
+    const auto corpus = miniCorpus();
+    const auto runner = runnerWithJobs(2);
+    const auto taint = runner.runTaint(corpus);
+    ASSERT_EQ(taint.size(), corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_EQ(taint[i].spec.name, corpus[i].spec.name);
+    EXPECT_FALSE(taint.back().ok); // the broken sample still failed
+    EXPECT_FALSE(taint.back().spec.name.empty());
+
+    const auto full = runner.runFull(corpus);
+    ASSERT_EQ(full.size(), corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        EXPECT_EQ(full[i].taint.spec.name, corpus[i].spec.name);
+        EXPECT_EQ(full[i].inference.spec.name, corpus[i].spec.name);
+    }
+}
+
 TEST(CorpusRunner, ThrowingTaskFailsOnlyItsOwnSample)
 {
     const auto runner = runnerWithJobs(4);

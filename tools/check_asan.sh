@@ -1,0 +1,19 @@
+#!/bin/sh
+# Build the test suite under AddressSanitizer (+ UBSan, via the
+# FITS_SANITIZE=address toolchain flags) and run the full suite. Any
+# heap error, overflow, or leak fails the run.
+#
+# Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
+set -e
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-asan"}
+
+cmake -B "$BUILD" -S "$ROOT" -DFITS_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
+
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" FITS_JOBS=4 \
+    "$BUILD/tests/fits_tests"
+
+echo "asan: no memory errors detected"

@@ -14,8 +14,9 @@ cmake -B "$BUILD" -S "$ROOT" -DFITS_SANITIZE=thread \
 cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
 
 # Exercise the parallel machinery specifically: the thread pool, the
-# corpus runner fan-out, the parallel BFV stage, and the logger.
+# corpus runner fan-out, the parallel BFV stage, the logger, and the
+# metrics registry (concurrent instrument updates + snapshots).
 TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
-    --gtest_filter='ThreadPool.*:ParallelFor.*:ResolveJobs.*:CorpusRunner.*:BehaviorAnalyzer.*:Logger.*'
+    --gtest_filter='ThreadPool.*:ParallelFor.*:ResolveJobs.*:CorpusRunner.*:BehaviorAnalyzer.*:Logger.*:Obs*'
 
 echo "tsan: no data races detected"

@@ -14,10 +14,15 @@
  *   fits taint <image.fwimg> [--engine sta|karonte] [--its ADDR]...
  *       Run a taint engine with the classical sources plus any given
  *       intermediate sources and print the alerts.
- *   fits corpus [--jobs N] [--taint]
+ *   fits corpus [--jobs N] [--taint] [--dir DIR]
+ *               [--metrics-out FILE]
  *       Evaluate the standard 59-sample corpus in parallel (per-vendor
  *       precision; with --taint also the four engine configurations,
- *       from one shared analysis pass per sample).
+ *       from one shared analysis pass per sample). --dir evaluates
+ *       every *.fwimg under DIR instead of the synthetic corpus;
+ *       --metrics-out enables the fits::obs registry and writes its
+ *       JSON snapshot after the run. Exits non-zero when every sample
+ *       fails.
  */
 
 #include <algorithm>
@@ -25,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -37,6 +43,7 @@
 #include "firmware/fwimg.hh"
 #include "firmware/select.hh"
 #include "ir/printer.hh"
+#include "obs/metrics.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
 #include "taint/karonte.hh"
@@ -61,8 +68,10 @@ usage()
         "[--its ADDR]...\n"
         "  fits disasm <image.fwimg> <function-addr>\n"
         "  fits score <image.fwimg>   (needs <image>.truth sidecar)\n"
-        "  fits corpus [--jobs N] [--taint]   (FITS_JOBS also sets "
-        "N)\n");
+        "  fits corpus [--jobs N] [--taint] [--dir DIR] "
+        "[--metrics-out FILE]\n"
+        "              (FITS_JOBS also sets N; exits 1 when every "
+        "sample fails)\n");
     return 2;
 }
 
@@ -446,26 +455,74 @@ cmdDisasm(const std::string &path, const std::string &addrText)
     return 0;
 }
 
+/** Load every *.fwimg under `dir` (sorted by path) as a corpus
+ * sample. Files are analyzed as-is: the spec carries only the file
+ * name for identity and the ground truth stays empty. */
+std::vector<synth::GeneratedFirmware>
+loadCorpusDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".fwimg")
+            paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<synth::GeneratedFirmware> corpus;
+    corpus.reserve(paths.size());
+    for (const auto &path : paths) {
+        synth::GeneratedFirmware fw;
+        fw.spec.name = path.filename().string();
+        if (!readFile(path.string(), fw.bytes)) {
+            std::fprintf(stderr, "cannot read %s, skipping\n",
+                         path.string().c_str());
+            continue;
+        }
+        corpus.push_back(std::move(fw));
+    }
+    return corpus;
+}
+
 int
 cmdCorpus(int argc, char **argv)
 {
     std::size_t jobs = 0;
     bool withTaint = false;
+    std::string corpusDir;
+    std::string metricsOut;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
             jobs = std::strtoul(argv[++i], nullptr, 0);
         } else if (arg == "--taint") {
             withTaint = true;
+        } else if (arg == "--dir" && i + 1 < argc) {
+            corpusDir = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metricsOut = argv[++i];
         } else {
             return usage();
         }
     }
 
+    if (!metricsOut.empty())
+        obs::setEnabled(true);
+
     eval::CorpusRunner::Config config;
     config.jobs = jobs;
     const eval::CorpusRunner runner(config);
-    const auto corpus = synth::generateStandardCorpus();
+    const auto corpus = corpusDir.empty()
+                            ? synth::generateStandardCorpus()
+                            : loadCorpusDir(corpusDir);
+    if (corpus.empty()) {
+        std::fprintf(stderr, "no corpus samples%s%s\n",
+                     corpusDir.empty() ? "" : " under ",
+                     corpusDir.c_str());
+        return 1;
+    }
     std::printf("evaluating %zu samples with %zu worker threads...\n\n",
                 corpus.size(), runner.jobs());
 
@@ -547,9 +604,42 @@ cmdCorpus(int argc, char **argv)
         engines.print();
     }
 
-    std::printf("\nwall clock: %.1f ms with %zu jobs\n", wallMs,
+    // Failure accounting: every sample whose pipeline (or taint
+    // batch) errored, identified by its spec. All-samples-failed is a
+    // hard error — the run produced no usable numbers.
+    std::size_t failed = 0;
+    for (const auto &outcome : outcomes) {
+        const bool bad = !outcome.inference.ok ||
+                         (withTaint && !outcome.taint.ok);
+        if (!bad)
+            continue;
+        ++failed;
+        const std::string &name = outcome.inference.spec.name.empty()
+                                      ? outcome.taint.spec.name
+                                      : outcome.inference.spec.name;
+        const std::string &error = outcome.inference.error.empty()
+                                       ? outcome.taint.error
+                                       : outcome.inference.error;
+        std::fprintf(stderr, "sample failed: %s: %s\n",
+                     name.empty() ? "<unnamed>" : name.c_str(),
+                     error.empty() ? "unknown error" : error.c_str());
+    }
+    std::printf("\nfailed samples: %zu/%zu\n", failed,
+                outcomes.size());
+    std::printf("wall clock: %.1f ms with %zu jobs\n", wallMs,
                 runner.jobs());
-    return 0;
+
+    if (!metricsOut.empty()) {
+        if (obs::Registry::instance().exportToFile(metricsOut)) {
+            std::printf("metrics written to %s\n", metricsOut.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         metricsOut.c_str());
+            return 1;
+        }
+    }
+
+    return failed == outcomes.size() ? 1 : 0;
 }
 
 } // namespace
