@@ -19,7 +19,7 @@ FunctionAnalysis::analyze(const bin::BinaryImage &image,
     fa.consts = TmpConstMap::compute(fn, &image);
     fa.params = inferParams(fa.cfg, fn);
     fa.flow = ReachingDefs::analyze(fa.cfg, fn, fa.consts,
-                                    fa.params.count);
+                                    fa.params.count, config.deadline);
 
     // Parameter dependence of loop-controlling branches (feature 7).
     for (std::size_t b = 0; b < fn.blocks.size(); ++b) {

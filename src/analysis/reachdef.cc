@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "chaos/chaos.hh"
 #include "ir/types.hh"
 
 namespace fits::analysis {
@@ -84,10 +85,17 @@ struct StmtDefs
 
 ReachingDefs::Result
 ReachingDefs::analyze(const Cfg &cfg, const ir::Function &fn,
-                      const TmpConstMap &consts, int numParams)
+                      const TmpConstMap &consts, int numParams,
+                      support::Deadline deadline)
 {
     Result result;
     const std::size_t n = fn.blocks.size();
+
+    // Fault injection behaves like a deadline that expired before the
+    // first iteration: every structure below is still fully sized, but
+    // neither fixpoint refines.
+    result.deadlineExpired = chaos::shouldInject("flow.reachdef");
+    std::size_t tick = 0;
 
     // ---- Collect definitions -------------------------------------
     // Virtual entry definitions for every argument register first.
@@ -238,9 +246,13 @@ ReachingDefs::analyze(const Cfg &cfg, const ir::Function &fn,
     if (n > 0)
         in[cfg.entry()] = entryIn;
 
-    bool changed = true;
+    bool changed = !result.deadlineExpired;
     while (changed) {
         changed = false;
+        if (deadline.expiredCoarse(tick++)) {
+            result.deadlineExpired = true;
+            break;
+        }
         for (std::size_t b = 0; b < n; ++b) {
             DefSet newIn = b == cfg.entry() ? entryIn : DefSet(nDefs);
             for (std::size_t p : cfg.preds(b))
@@ -382,11 +394,17 @@ ReachingDefs::analyze(const Cfg &cfg, const ir::Function &fn,
 
     // Worklist over statements until the def masks stabilize.
     std::vector<std::pair<std::size_t, std::size_t>> worklist;
-    for (std::size_t b = 0; b < n; ++b) {
-        for (std::size_t s = 0; s < result.useDefs[b].size(); ++s)
-            worklist.emplace_back(b, s);
+    if (!result.deadlineExpired) {
+        for (std::size_t b = 0; b < n; ++b) {
+            for (std::size_t s = 0; s < result.useDefs[b].size(); ++s)
+                worklist.emplace_back(b, s);
+        }
     }
     while (!worklist.empty()) {
+        if (deadline.expiredCoarse(tick++)) {
+            result.deadlineExpired = true;
+            break;
+        }
         const auto [b, s] = worklist.back();
         worklist.pop_back();
         std::uint8_t mask = 0;

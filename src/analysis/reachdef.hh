@@ -6,6 +6,7 @@
 
 #include "analysis/cfg.hh"
 #include "analysis/constmap.hh"
+#include "support/deadline.hh"
 
 namespace fits::analysis {
 
@@ -73,10 +74,16 @@ class ReachingDefs
          * by LoopInfo::controlsLoop; filled by callers that have loop
          * info (feature extraction), zero otherwise. */
         std::uint8_t loopDepMask = 0;
+
+        /** The fixpoint loops were cut short by the deadline (or a
+         * fault injection). Every vector is still fully sized — only
+         * the masks and IN sets may be under-approximated. */
+        bool deadlineExpired = false;
     };
 
     static Result analyze(const Cfg &cfg, const ir::Function &fn,
-                          const TmpConstMap &consts, int numParams);
+                          const TmpConstMap &consts, int numParams,
+                          support::Deadline deadline = {});
 };
 
 } // namespace fits::analysis

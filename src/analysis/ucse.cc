@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.hh"
 #include "ir/types.hh"
 
 namespace fits::analysis {
@@ -77,9 +78,19 @@ UcseExplorer::explore(const ir::Function &fn) const
     worklist.push_back(std::move(init));
     std::vector<std::size_t> visits(n, 0);
 
+    if (chaos::shouldInject("ucse.explore")) {
+        result.deadlineExpired = true;
+        return result;
+    }
+
+    std::size_t tick = 0;
     while (!worklist.empty()) {
         if (result.steps >= config_.maxSteps) {
             result.budgetExhausted = true;
+            break;
+        }
+        if (config_.deadline.expiredCoarse(tick++)) {
+            result.deadlineExpired = true;
             break;
         }
         PathState state = std::move(worklist.back());

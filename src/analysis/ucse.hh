@@ -7,6 +7,7 @@
 
 #include "binary/image.hh"
 #include "ir/function.hh"
+#include "support/deadline.hh"
 
 namespace fits::analysis {
 
@@ -62,6 +63,10 @@ struct UcseConfig
     std::size_t maxSteps = 50000;
     /** Re-entry bound per block, which also bounds loop unrolling. */
     std::size_t maxVisitsPerBlock = 4;
+    /** Wall-clock budget; default never expires. Checked coarsely in
+     * the exploration loop, so expiry yields partial results rather
+     * than an error. */
+    support::Deadline deadline;
 };
 
 /** Results of exploring one function. */
@@ -75,6 +80,9 @@ struct UcseResult
     std::vector<bool> reachedBlocks;
     std::size_t steps = 0;
     bool budgetExhausted = false;
+    /** The wall-clock deadline (or a fault injection) cut exploration
+     * short; resolved targets and reached blocks are partial. */
+    bool deadlineExpired = false;
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "fbin.hh"
 
 #include "binary/bytebuf.hh"
+#include "chaos/chaos.hh"
+#include "support/status.hh"
 #include "support/strings.hh"
 
 namespace fits::bin {
@@ -208,111 +210,128 @@ support::Result<BinaryImage>
 loadBinary(const std::vector<std::uint8_t> &bytes)
 {
     using R = support::Result<BinaryImage>;
-    ByteReader r(bytes);
+    using support::ErrorCode;
+    using support::Stage;
+    const auto err = [](ErrorCode code, std::string message) {
+        return R::error(support::Status::error(
+            Stage::Lift, code, std::move(message)));
+    };
+
+    if (chaos::shouldInject("fbin.load"))
+        return R::error(chaos::injectedStatus("fbin.load"));
+
+    // The truncation fault decodes only the front half of the buffer,
+    // which must surface as a typed Truncated error somewhere below —
+    // exactly what a half-written file or short read produces.
+    const std::size_t limit =
+        chaos::shouldInject("fbin.truncate") ? bytes.size() / 2
+                                             : bytes.size();
+    ByteReader r(bytes.data(), limit);
 
     std::uint8_t magic[4];
     for (auto &m : magic) {
         if (!r.u8(m))
-            return R::error("truncated header");
+            return err(ErrorCode::Truncated, "truncated header");
     }
     if (magic[0] != 'F' || magic[1] != 'B' || magic[2] != 'I' ||
         magic[3] != 'N') {
-        return R::error("bad magic (not an FBIN)");
+        return err(ErrorCode::BadMagic, "bad magic (not an FBIN)");
     }
 
     std::uint32_t version;
     if (!r.u32(version))
-        return R::error("truncated header");
+        return err(ErrorCode::Truncated, "truncated header");
     if (version != kFbinVersion) {
-        return R::error(support::format("unsupported FBIN version %u",
-                                        version));
+        return err(ErrorCode::BadVersion,
+                   support::format("unsupported FBIN version %u",
+                                   version));
     }
 
     BinaryImage image;
     std::uint8_t arch, stripped;
     if (!r.str(image.name) || !r.u8(arch) || !r.u8(stripped))
-        return R::error("truncated identification");
+        return err(ErrorCode::Truncated, "truncated identification");
     if (arch > static_cast<std::uint8_t>(Arch::Mips))
-        return R::error("unknown architecture tag");
+        return err(ErrorCode::Corrupt, "unknown architecture tag");
     image.arch = static_cast<Arch>(arch);
     image.stripped = stripped != 0;
 
     std::uint32_t count;
     if (!r.u32(count))
-        return R::error("truncated section table");
+        return err(ErrorCode::Truncated, "truncated section table");
     for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
         Section sec;
         std::uint32_t size;
         if (!r.str(sec.name) || !r.u64(sec.addr) || !r.u8(sec.flags) ||
             !r.u32(size) || !r.raw(sec.bytes, size)) {
-            return R::error("malformed section");
+            return err(ErrorCode::Corrupt, "malformed section");
         }
         image.sections.push_back(std::move(sec));
     }
 
     if (!r.u32(count))
-        return R::error("truncated import table");
+        return err(ErrorCode::Truncated, "truncated import table");
     for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
         Import imp;
         if (!r.u64(imp.pltAddr) || !r.str(imp.name) ||
             !r.str(imp.library)) {
-            return R::error("malformed import");
+            return err(ErrorCode::Corrupt, "malformed import");
         }
         image.imports.push_back(std::move(imp));
     }
 
     if (!r.u32(count))
-        return R::error("truncated symbol table");
+        return err(ErrorCode::Truncated, "truncated symbol table");
     for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
         Symbol sym;
         if (!r.u64(sym.addr) || !r.str(sym.name))
-            return R::error("malformed symbol");
+            return err(ErrorCode::Corrupt, "malformed symbol");
         image.symbols.push_back(std::move(sym));
     }
 
     if (!r.u32(count))
-        return R::error("truncated dependency table");
+        return err(ErrorCode::Truncated, "truncated dependency table");
     for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
         std::string dep;
         if (!r.str(dep))
-            return R::error("malformed dependency entry");
+            return err(ErrorCode::Corrupt, "malformed dependency entry");
         image.neededLibraries.push_back(std::move(dep));
     }
 
     if (!r.u32(count))
-        return R::error("truncated function table");
+        return err(ErrorCode::Truncated, "truncated function table");
     for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
         ir::Function fn;
         std::uint32_t nBlocks;
         if (!r.u64(fn.entry) || !r.str(fn.name) || !r.u32(fn.numTmps) ||
             !r.u32(nBlocks)) {
-            return R::error("malformed function header");
+            return err(ErrorCode::Corrupt, "malformed function header");
         }
         if (image.program.functionAt(fn.entry) != nullptr)
-            return R::error("duplicate function entry");
+            return err(ErrorCode::Corrupt, "duplicate function entry");
         for (std::uint32_t b = 0; b < nBlocks && r.ok(); ++b) {
             ir::BasicBlock block;
             std::uint32_t nStmts;
             if (!r.u64(block.addr) || !r.u32(nStmts))
-                return R::error("malformed block header");
+                return err(ErrorCode::Corrupt, "malformed block header");
             block.stmts.reserve(std::min<std::uint32_t>(nStmts, 4096));
             for (std::uint32_t s = 0; s < nStmts; ++s) {
                 ir::Stmt stmt;
                 if (!readStmt(r, stmt))
-                    return R::error("malformed statement");
+                    return err(ErrorCode::Corrupt, "malformed statement");
                 block.stmts.push_back(stmt);
             }
             fn.blocks.push_back(std::move(block));
         }
         if (!r.ok())
-            return R::error("truncated function body");
+            return err(ErrorCode::Truncated, "truncated function body");
         image.program.addFunction(std::move(fn));
     }
 
     if (!r.ok())
-        return R::error("truncated file");
+        return err(ErrorCode::Truncated, "truncated file");
     if (!r.atEnd())
-        return R::error("trailing bytes after function table");
+        return err(ErrorCode::Corrupt, "trailing bytes after function table");
 
     image.reindexImports();
     return R::ok(std::move(image));

@@ -1,0 +1,99 @@
+#ifndef FITS_CHAOS_CHAOS_HH_
+#define FITS_CHAOS_CHAOS_HH_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hh"
+
+namespace fits::chaos {
+
+/**
+ * Deterministic fault injection: named fault sites planted at the
+ * pipeline's error boundaries (unpack, filesystem, binary lift,
+ * IR parse, taint engines), armed by the `FITS_FAULTS` environment
+ * variable, so every error path is reachable — and replayable — from
+ * tests without hand-crafting a corrupt input per path.
+ *
+ * Design constraints (mirroring `fits::obs`):
+ *  - *Off by default, near-zero overhead:* every `shouldInject()`
+ *    first checks one relaxed atomic flag and returns false; no
+ *    locks, no allocation, no hashing on the disabled path. With
+ *    `FITS_FAULTS` unset, pipeline output is bit-identical.
+ *  - *Deterministic:* whether a site fires on its k-th hit is a pure
+ *    function of (site name, k, seed). Replaying the same spec over
+ *    the same serial run reproduces the same faults; sites that fire
+ *    on every hit (the default) are deterministic under any thread
+ *    interleaving.
+ *  - *Typed:* a fired site surfaces as a `support::Status` with
+ *    ErrorCode::FaultInjected, so nothing downstream confuses an
+ *    injected fault with a real input property.
+ *
+ * Spec grammar (`FITS_FAULTS=<spec>` or `configure()`):
+ *
+ *     spec  := rules [":" seed]
+ *     rules := rule ("," rule)*
+ *     rule  := site-pattern ["@" percent] ["#" max-fires]
+ *
+ * A site pattern is a catalog name, or a prefix ending in "*"
+ * ("unpack.*"), or "*" alone for every site. `@percent` fires the
+ * site on roughly that percentage of hits (deterministically chosen
+ * per hit index from the seed); `#max-fires` stops the site after N
+ * fires — `unpack.magic#1` makes exactly the first unpack fail,
+ * which is how the degraded-retry path is tested. The trailing
+ * `:seed` (default 1) reshuffles which hit indices fire.
+ */
+
+/** True when fault injection is armed (FITS_FAULTS / configure). */
+bool enabled();
+
+/** One entry of the static fault-site catalog. */
+struct SiteInfo
+{
+    const char *name;          ///< e.g. "unpack.checksum"
+    support::Stage stage;      ///< stage the injected error reports
+    const char *description;   ///< what failing here simulates
+};
+
+/** Every fault site planted in the codebase, in a stable order. The
+ * chaos tests iterate this to prove each error path is reachable. */
+const std::vector<SiteInfo> &knownSites();
+
+/** Catalog entry by name; nullptr if not a registered site. */
+const SiteInfo *siteByName(std::string_view name);
+
+/**
+ * Arm injection with a spec (see grammar above). Returns false and
+ * fills `error` (if given) on a malformed spec, leaving injection
+ * disarmed. An empty spec disarms. Counters are reset either way.
+ */
+bool configure(std::string_view spec, std::string *error = nullptr);
+
+/** Disarm injection and clear all hit/fire counters. */
+void reset();
+
+/**
+ * The decision point a fault site compiles down to: true when `site`
+ * must fail now. Counts the hit either way (when armed). `site` must
+ * be a name from the catalog — unknown names never fire (and assert
+ * in debug builds, so a typo cannot silently disable a site).
+ */
+bool shouldInject(std::string_view site);
+
+/** Times `site` was reached since the last configure/reset. */
+std::uint64_t hitCount(std::string_view site);
+
+/** Times `site` fired since the last configure/reset. */
+std::uint64_t fireCount(std::string_view site);
+
+/** Total fires across all sites since the last configure/reset. */
+std::uint64_t totalFires();
+
+/** The typed status an armed site returns when it fires. */
+support::Status injectedStatus(std::string_view site);
+
+} // namespace fits::chaos
+
+#endif // FITS_CHAOS_CHAOS_HH_

@@ -1,5 +1,6 @@
 #include "pipeline.hh"
 
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
 #include "support/logging.hh"
 
@@ -15,6 +16,9 @@ resultFromArtifact(PipelineArtifact artifact)
     result.ok = artifact.ok;
     result.failureStage = artifact.failureStage;
     result.error = std::move(artifact.error);
+    result.status = std::move(artifact.status);
+    result.degraded = artifact.degraded;
+    result.issues = std::move(artifact.issues);
     result.imageInfo = artifact.imageInfo;
     result.binaryName = std::move(artifact.binaryName);
     result.numFunctions = artifact.numFunctions;
@@ -56,6 +60,16 @@ recordRunCounters(const PipelineArtifact &artifact)
         obs::addCounter(std::string("pipeline.failures.") +
                         failureStageName(artifact.failureStage));
     }
+    if (artifact.degraded)
+        obs::addCounter("pipeline.degraded");
+    if (!artifact.status.isOk()) {
+        obs::addCounter(std::string("pipeline.errors.") +
+                        support::stageName(artifact.status.stage()));
+    }
+    for (const auto &issue : artifact.issues) {
+        obs::addCounter(std::string("pipeline.errors.") +
+                        support::stageName(issue.stage()));
+    }
 }
 
 } // namespace
@@ -90,6 +104,7 @@ FitsPipeline::analyze(const std::vector<std::uint8_t> &firmware) const
     if (!unpacked) {
         artifact.failureStage = PipelineResult::FailureStage::Unpack;
         artifact.error = unpacked.errorMessage();
+        artifact.status = unpacked.status();
         recordRunCounters(artifact);
         return artifact;
     }
@@ -103,6 +118,7 @@ FitsPipeline::analyze(const std::vector<std::uint8_t> &firmware) const
         artifact.timings.selectMs = selectMs;
         artifact.failureStage = PipelineResult::FailureStage::Select;
         artifact.error = target.errorMessage();
+        artifact.status = target.status();
         recordRunCounters(artifact);
         return artifact;
     }
@@ -135,6 +151,15 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
     artifact.numFunctions = artifact.target->main.program.size();
     artifact.binaryBytes = artifact.target->main.byteSize();
 
+    // A library that failed to lift degrades the run: analysis
+    // proceeds against what did load, with the gaps on record.
+    for (const auto &dep : artifact.target->missingLibraries) {
+        artifact.degraded = true;
+        artifact.issues.push_back(support::Status::error(
+            support::Stage::Select, support::ErrorCode::NotFound,
+            "library did not lift: " + dep));
+    }
+
     // Stage 2: behavior representation (Algorithm 1), as three spans:
     // lift (link the images into one view), UCSE (whole-program
     // analysis), and BFV extraction. The linked view and the analysis
@@ -148,11 +173,32 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
     }
     {
         obs::ScopedTimer ucseTimer("ucse");
+        analysis::UcseConfig ucseConfig = config_.behavior.ucse;
+        if (config_.budgets.behaviorMs > 0.0) {
+            // One deadline for the whole stage, shared by every
+            // function's exploration and dataflow pass.
+            ucseConfig.deadline =
+                support::Deadline::afterMs(config_.budgets.behaviorMs);
+        }
         artifact.analysis =
             std::make_unique<analysis::ProgramAnalysis>(
                 analysis::ProgramAnalysis::analyze(
-                    *artifact.linked, config_.behavior.ucse));
+                    *artifact.linked, ucseConfig));
         artifact.timings.ucseMs = ucseTimer.stopMs();
+
+        std::size_t expired = 0;
+        for (const auto &fa : artifact.analysis->fns) {
+            if (fa.ucse.deadlineExpired || fa.flow.deadlineExpired)
+                ++expired;
+        }
+        if (expired > 0) {
+            artifact.degraded = true;
+            artifact.issues.push_back(support::Status::error(
+                support::Stage::Ucse, support::ErrorCode::Timeout,
+                "behavior stage budget expired; " +
+                    std::to_string(expired) +
+                    " function(s) analyzed partially"));
+        }
     }
     {
         obs::ScopedTimer bfvTimer("bfv");
@@ -166,6 +212,14 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
 
     // Stage 3: inference (Algorithm 2).
     obs::ScopedTimer inferTimer("infer");
+    if (chaos::shouldInject("infer.rank")) {
+        artifact.timings.inferMs = inferTimer.stopMs();
+        artifact.failureStage =
+            PipelineResult::FailureStage::Inference;
+        artifact.status = chaos::injectedStatus("infer.rank");
+        artifact.error = artifact.status.message();
+        return artifact;
+    }
     artifact.inference = inferIts(artifact.behavior, config_.infer);
     artifact.timings.inferMs = inferTimer.stopMs();
     artifact.timings.clusterMs = artifact.inference.clusterMs;
@@ -175,6 +229,9 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
         artifact.failureStage =
             PipelineResult::FailureStage::Inference;
         artifact.error = artifact.inference.error;
+        artifact.status = support::Status::error(
+            support::Stage::Infer, support::ErrorCode::NotFound,
+            artifact.inference.error);
         return artifact;
     }
 

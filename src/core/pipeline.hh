@@ -10,14 +10,32 @@
 #include "core/infer.hh"
 #include "firmware/fwimg.hh"
 #include "firmware/select.hh"
+#include "support/deadline.hh"
+#include "support/status.hh"
 
 namespace fits::core {
+
+/**
+ * Per-stage wall-clock budgets in milliseconds; 0 = unlimited. The
+ * default is taken from FITS_STAGE_TIMEOUT_MS (0 when unset), so an
+ * operator can bound every stage of a corpus run with one knob. An
+ * expired budget degrades the result (partial data, `degraded` set)
+ * rather than failing it.
+ */
+struct StageBudgets
+{
+    /** Behavior stage: UCSE exploration + reaching definitions. */
+    double behaviorMs = support::envStageTimeoutMs();
+    /** Taint engines (consumed by the evaluation harness). */
+    double taintMs = support::envStageTimeoutMs();
+};
 
 /** Configuration of the whole FITS pipeline. */
 struct PipelineConfig
 {
     BehaviorAnalyzer::Config behavior;
     InferConfig infer;
+    StageBudgets budgets;
 };
 
 /**
@@ -66,6 +84,14 @@ struct PipelineResult
     bool ok = false;
     FailureStage failureStage = FailureStage::None;
     std::string error;
+    /** Typed form of `error` (stage + code); Ok when the run passed. */
+    support::Status status;
+
+    /** The run produced usable but partial output: a library failed to
+     * lift, or a stage budget expired mid-analysis. `issues` lists the
+     * typed reasons. A degraded run still has ok == true. */
+    bool degraded = false;
+    std::vector<support::Status> issues;
 
     fw::ImageInfo imageInfo;
     std::string binaryName;
@@ -101,6 +127,11 @@ struct PipelineArtifact
     PipelineResult::FailureStage failureStage =
         PipelineResult::FailureStage::None;
     std::string error;
+    support::Status status;
+
+    /** See PipelineResult::degraded. */
+    bool degraded = false;
+    std::vector<support::Status> issues;
 
     fw::ImageInfo imageInfo;
     std::string binaryName;

@@ -125,6 +125,10 @@ class CorpusRunner
     }
 
   private:
+    /** Reduced-budget pipeline config used for the one retry a
+     * transiently-failed sample gets. */
+    core::PipelineConfig degradedPipelineConfig() const;
+
     Config config_;
     std::size_t jobs_ = 1;
 };

@@ -29,6 +29,9 @@ inferenceOutcome(const core::PipelineArtifact &artifact,
 
     outcome.failureStage = artifact.failureStage;
     outcome.error = artifact.error;
+    outcome.status = artifact.status;
+    outcome.degraded = artifact.degraded;
+    outcome.issues = artifact.issues;
     outcome.binaryName = artifact.binaryName;
     outcome.numFunctions = artifact.numFunctions;
     outcome.binaryBytes = artifact.binaryBytes;
@@ -133,22 +136,26 @@ runTaint(const synth::GeneratedFirmware &fw,
          const core::PipelineConfig &config)
 {
     const core::FitsPipeline pipeline(config);
-    return taintOutcome(pipeline.analyze(fw.bytes), fw.spec, fw.truth);
+    return taintOutcome(pipeline.analyze(fw.bytes), fw.spec, fw.truth,
+                        config.budgets.taintMs);
 }
 
 TaintOutcome
 taintOutcome(const core::PipelineArtifact &artifact,
              const synth::SampleSpec &spec,
-             const synth::GroundTruth &truth)
+             const synth::GroundTruth &truth, double taintBudgetMs)
 {
     TaintOutcome outcome;
     outcome.spec = spec;
+    outcome.degraded = artifact.degraded;
+    outcome.issues = artifact.issues;
 
     // Stage-1 failures have nothing to run the engines on. An
     // inference-stage failure still does: the engines run with the
     // classical sources alone (the ranking is simply empty).
     if (!artifact.hasAnalysis()) {
         outcome.error = artifact.error;
+        outcome.status = artifact.status;
         return outcome;
     }
     const analysis::ProgramAnalysis &pa = *artifact.analysis;
@@ -173,29 +180,50 @@ taintOutcome(const core::PipelineArtifact &artifact,
     ctsPlusIts.insert(ctsPlusIts.end(), itsSources.begin(),
                       itsSources.end());
 
-    const taint::KaronteEngine karonte;
-    const taint::StaEngine sta;
+    taint::KaronteEngine::Config karonteConfig;
+    karonteConfig.deadlineMs = taintBudgetMs;
+    taint::StaEngine::Config staConfig;
+    staConfig.deadlineMs = taintBudgetMs;
+    const taint::KaronteEngine karonte(karonteConfig);
+    const taint::StaEngine sta(staConfig);
+
+    // A report cut short by the wall-clock budget is still scored —
+    // its alerts are valid, just not a full sweep — and the outcome is
+    // flagged so aggregate tables can exclude or annotate it.
+    const auto noteExpiry = [&outcome](const taint::TaintReport &report,
+                                       const char *engine) {
+        if (!report.deadlineExpired)
+            return;
+        outcome.degraded = true;
+        outcome.issues.push_back(support::Status::error(
+            support::Stage::Taint, support::ErrorCode::Timeout,
+            std::string(engine) + " stopped at the stage deadline"));
+    };
 
     {
         const auto report = karonte.run(pa, cts);
+        noteExpiry(report, "karonte");
         outcome.karonte = scoreReport(report.alerts, truth,
                                       report.analysisMs,
                                       &outcome.karonteBugs);
     }
     {
         const auto report = karonte.run(pa, ctsPlusIts);
+        noteExpiry(report, "karonte+its");
         outcome.karonteIts = scoreReport(report.filteredAlerts(),
                                          truth, report.analysisMs,
                                          &outcome.karonteItsBugs);
     }
     {
         const auto report = sta.run(pa, cts);
+        noteExpiry(report, "sta");
         outcome.sta = scoreReport(report.alerts, truth,
                                   report.analysisMs,
                                   &outcome.staBugs);
     }
     {
         const auto report = sta.run(pa, ctsPlusIts);
+        noteExpiry(report, "sta+its");
         outcome.staIts = scoreReport(report.filteredAlerts(),
                                      truth, report.analysisMs,
                                      &outcome.staItsBugs);

@@ -22,8 +22,17 @@ struct InferenceOutcome
     synth::SampleSpec spec;
     bool ok = false;
     std::string error;
+    /** Typed form of `error`; Ok when the pipeline passed. */
+    support::Status status;
     core::PipelineResult::FailureStage failureStage =
         core::PipelineResult::FailureStage::None;
+
+    /** Partial result: see core::PipelineResult::degraded. */
+    bool degraded = false;
+    std::vector<support::Status> issues;
+    /** The corpus runner re-ran this sample once after a transient
+     * failure (timeout / injected fault). */
+    bool retried = false;
 
     std::vector<core::RankedFunction> ranking;
     /** 1-based rank of the first verified ITS; -1 if absent. */
@@ -97,6 +106,13 @@ struct TaintOutcome
     synth::SampleSpec spec;
     bool ok = false;
     std::string error;
+    /** Typed form of `error`; Ok when the engines ran. */
+    support::Status status;
+    /** Partial result: the shared artifact was degraded or an engine
+     * hit its wall-clock budget; `issues` lists the reasons. */
+    bool degraded = false;
+    std::vector<support::Status> issues;
+    bool retried = false;
     EngineStats karonte;
     EngineStats karonteIts;
     EngineStats sta;
@@ -126,7 +142,8 @@ TaintOutcome runTaint(const synth::GeneratedFirmware &fw,
  */
 TaintOutcome taintOutcome(const core::PipelineArtifact &artifact,
                           const synth::SampleSpec &spec,
-                          const synth::GroundTruth &truth);
+                          const synth::GroundTruth &truth,
+                          double taintBudgetMs = 0.0);
 
 /** Score a taint report against ground truth. */
 EngineStats scoreReport(const std::vector<taint::Alert> &alerts,

@@ -3,6 +3,8 @@
 #include <string_view>
 
 #include "binary/bytebuf.hh"
+#include "chaos/chaos.hh"
+#include "support/status.hh"
 #include "support/strings.hh"
 
 namespace fits::fw {
@@ -137,6 +139,17 @@ unpackFirmware(const std::vector<std::uint8_t> &bytes)
 {
     using R = support::Result<FirmwareImage>;
     using bin::ByteReader;
+    using support::ErrorCode;
+    using support::Stage;
+    using support::Status;
+    const auto err = [](Stage stage, ErrorCode code,
+                        std::string message) {
+        return R::error(
+            Status::error(stage, code, std::move(message)));
+    };
+
+    if (chaos::shouldInject("unpack.magic"))
+        return R::error(chaos::injectedStatus("unpack.magic"));
 
     // Magic scan (what Binwalk does): find "FWIM" at any offset.
     std::size_t start = bytes.size();
@@ -147,8 +160,13 @@ unpackFirmware(const std::vector<std::uint8_t> &bytes)
             break;
         }
     }
-    if (start == bytes.size())
-        return R::error("no FWIM magic found in image");
+    if (start == bytes.size()) {
+        return err(Stage::Unpack, ErrorCode::BadMagic,
+                   "no FWIM magic found in image");
+    }
+
+    if (chaos::shouldInject("unpack.header"))
+        return R::error(chaos::injectedStatus("unpack.header"));
 
     ByteReader r(bytes.data() + start, bytes.size() - start);
     std::uint8_t magic[4];
@@ -156,11 +174,15 @@ unpackFirmware(const std::vector<std::uint8_t> &bytes)
         r.u8(m);
 
     std::uint32_t version;
-    if (!r.u32(version))
-        return R::error("truncated firmware header");
+    if (!r.u32(version)) {
+        return err(Stage::Unpack, ErrorCode::Truncated,
+                   "truncated firmware header");
+    }
     if (version != kVersion) {
-        return R::error(support::format(
-            "unsupported firmware format version %u", version));
+        return err(Stage::Unpack, ErrorCode::BadVersion,
+                   support::format(
+                       "unsupported firmware format version %u",
+                       version));
     }
 
     FirmwareImage image;
@@ -170,47 +192,66 @@ unpackFirmware(const std::vector<std::uint8_t> &bytes)
     if (!r.str(image.info.vendor) || !r.str(image.info.product) ||
         !r.str(image.info.version) || !r.u8(encoding) ||
         !r.u64(checksum) || !r.u32(payloadSize)) {
-        return R::error("truncated firmware header");
+        return err(Stage::Unpack, ErrorCode::Truncated,
+                   "truncated firmware header");
     }
-    if (encoding > static_cast<std::uint8_t>(Encoding::Opaque))
-        return R::error("unknown payload encoding");
+    if (encoding > static_cast<std::uint8_t>(Encoding::Opaque)) {
+        return err(Stage::Unpack, ErrorCode::Corrupt,
+                   "unknown payload encoding");
+    }
     image.info.encoding = static_cast<Encoding>(encoding);
 
     if (image.info.encoding == Encoding::Opaque) {
-        return R::error("vendor uses an unsupported encryption scheme "
-                        "(opaque payload)");
+        return err(Stage::Unpack, ErrorCode::Unsupported,
+                   "vendor uses an unsupported encryption scheme "
+                   "(opaque payload)");
     }
 
     std::vector<std::uint8_t> payload;
-    if (!r.raw(payload, payloadSize))
-        return R::error("truncated firmware payload");
+    if (!r.raw(payload, payloadSize)) {
+        return err(Stage::Unpack, ErrorCode::Truncated,
+                   "truncated firmware payload");
+    }
 
     decodePayload(payload, image.info.encoding,
                   vendorKey(image.info.vendor));
+    if (chaos::shouldInject("unpack.payload"))
+        return R::error(chaos::injectedStatus("unpack.payload"));
     if (payloadChecksum(payload) != checksum) {
-        return R::error("payload checksum mismatch "
-                        "(corrupt image or wrong key)");
+        return err(Stage::Unpack, ErrorCode::Corrupt,
+                   "payload checksum mismatch "
+                   "(corrupt image or wrong key)");
     }
+
+    if (chaos::shouldInject("fs.filetable"))
+        return R::error(chaos::injectedStatus("fs.filetable"));
 
     ByteReader pr(payload);
     std::uint32_t nFiles;
-    if (!pr.u32(nFiles))
-        return R::error("truncated file table");
+    if (!pr.u32(nFiles)) {
+        return err(Stage::Filesystem, ErrorCode::Truncated,
+                   "truncated file table");
+    }
     for (std::uint32_t i = 0; i < nFiles && pr.ok(); ++i) {
         FileEntry entry;
         std::uint8_t type;
         std::uint32_t size;
         if (!pr.str(entry.path) || !pr.u8(type) || !pr.u32(size) ||
             !pr.raw(entry.bytes, size)) {
-            return R::error("malformed file entry");
+            return err(Stage::Filesystem, ErrorCode::Truncated,
+                       "malformed file entry");
         }
-        if (type > static_cast<std::uint8_t>(FileType::Other))
-            return R::error("unknown file type");
+        if (type > static_cast<std::uint8_t>(FileType::Other)) {
+            return err(Stage::Filesystem, ErrorCode::Corrupt,
+                       "unknown file type");
+        }
         entry.type = static_cast<FileType>(type);
         image.filesystem.addFile(std::move(entry));
     }
-    if (!pr.ok())
-        return R::error("truncated file table");
+    if (!pr.ok()) {
+        return err(Stage::Filesystem, ErrorCode::Truncated,
+                   "truncated file table");
+    }
 
     return R::ok(std::move(image));
 }

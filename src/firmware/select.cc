@@ -1,7 +1,9 @@
 #include "select.hh"
 
 #include "binary/fbin.hh"
+#include "chaos/chaos.hh"
 #include "support/logging.hh"
+#include "support/status.hh"
 
 namespace fits::fw {
 
@@ -42,6 +44,12 @@ support::Result<AnalysisTarget>
 selectAnalysisTarget(const Filesystem &filesystem)
 {
     using R = support::Result<AnalysisTarget>;
+    using support::ErrorCode;
+    using support::Stage;
+    using support::Status;
+
+    if (chaos::shouldInject("select.binary"))
+        return R::error(chaos::injectedStatus("select.binary"));
 
     bool anyParsed = false;
     int bestScore = 0;
@@ -63,16 +71,29 @@ selectAnalysisTarget(const Filesystem &filesystem)
         }
     }
 
-    if (!anyParsed)
-        return R::error("no executable in the file system parses as "
-                        "FBIN");
-    if (bestScore == 0)
-        return R::error("no executable imports the network interface");
+    if (!anyParsed) {
+        return R::error(Status::error(
+            Stage::Select, ErrorCode::NotFound,
+            "no executable in the file system parses as FBIN"));
+    }
+    if (bestScore == 0) {
+        return R::error(Status::error(
+            Stage::Select, ErrorCode::NotFound,
+            "no executable imports the network interface"));
+    }
 
     AnalysisTarget target;
     target.main = std::move(best);
 
     for (const auto &dep : target.main.neededLibraries) {
+        // A library that fails to lift is a *degradation*, not a
+        // failure: analysis proceeds against the main binary (and any
+        // libraries that did load) and the target records what is
+        // missing so the pipeline can flag the sample as partial.
+        if (chaos::shouldInject("select.library")) {
+            target.missingLibraries.push_back(dep);
+            continue;
+        }
         const FileEntry *libEntry = filesystem.findByBasename(dep);
         if (!libEntry) {
             target.missingLibraries.push_back(dep);

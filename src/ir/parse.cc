@@ -3,6 +3,8 @@
 #include <cctype>
 #include <optional>
 
+#include "chaos/chaos.hh"
+#include "support/status.hh"
 #include "support/strings.hh"
 
 namespace fits::ir {
@@ -261,6 +263,14 @@ support::Result<Function>
 parseFunction(const std::string &text)
 {
     using R = support::Result<Function>;
+    const auto err = [](std::string message) {
+        return R::error(support::Status::error(
+            support::Stage::IrParse, support::ErrorCode::Corrupt,
+            std::move(message)));
+    };
+
+    if (chaos::shouldInject("ir.parse"))
+        return R::error(chaos::injectedStatus("ir.parse"));
 
     Function fn;
     bool sawHeader = false;
@@ -279,12 +289,12 @@ parseFunction(const std::string &text)
 
         if (support::startsWith(line, "function ")) {
             if (sawHeader)
-                return R::error("duplicate function header");
+                return err("duplicate function header");
             sawHeader = true;
             // "function <name> @ <addr> (...)"
             const std::size_t at = line.find(" @ ");
             if (at == std::string::npos)
-                return R::error("malformed function header");
+                return err("malformed function header");
             std::string name =
                 line.substr(9, at - 9);
             if (name == "<stripped>")
@@ -293,7 +303,7 @@ parseFunction(const std::string &text)
             Cursor c(std::string_view(line).substr(at + 3));
             auto entry = c.number();
             if (!entry)
-                return R::error("missing entry address");
+                return err("missing entry address");
             fn.entry = *entry;
             continue;
         }
@@ -302,7 +312,7 @@ parseFunction(const std::string &text)
             Cursor c(std::string_view(line).substr(6));
             auto addr = c.number();
             if (!addr || !c.literal(":"))
-                return R::error(support::format(
+                return err(support::format(
                     "line %d: malformed block header", lineNo));
             fn.blocks.emplace_back();
             fn.blocks.back().addr = *addr;
@@ -312,25 +322,25 @@ parseFunction(const std::string &text)
 
         // "<addr>: <stmt>"
         if (!sawHeader || current == nullptr)
-            return R::error(support::format(
+            return err(support::format(
                 "line %d: statement outside a block", lineNo));
         const std::size_t colon = line.find(": ");
         if (colon == std::string::npos)
-            return R::error(support::format(
+            return err(support::format(
                 "line %d: missing statement address", lineNo));
         auto stmt =
             parseStmt(std::string_view(line).substr(colon + 2));
         if (!stmt)
-            return R::error(support::format(
+            return err(support::format(
                 "line %d: unparsable statement '%s'", lineNo,
                 line.substr(colon + 2).c_str()));
         current->stmts.push_back(*stmt);
     }
 
     if (!sawHeader)
-        return R::error("no function header");
+        return err("no function header");
     if (fn.blocks.empty())
-        return R::error("function has no blocks");
+        return err("function has no blocks");
 
     // Recompute numTmps from the statements.
     TmpId maxTmp = 0;

@@ -1,0 +1,23 @@
+#include "deadline.hh"
+
+#include <cstdlib>
+
+namespace fits::support {
+
+double
+envStageTimeoutMs()
+{
+    static const double value = [] {
+        const char *env = std::getenv("FITS_STAGE_TIMEOUT_MS");
+        if (env == nullptr || *env == '\0')
+            return 0.0;
+        char *end = nullptr;
+        const double parsed = std::strtod(env, &end);
+        if (end == env || parsed <= 0.0)
+            return 0.0;
+        return parsed;
+    }();
+    return value;
+}
+
+} // namespace fits::support

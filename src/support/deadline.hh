@@ -1,0 +1,90 @@
+#ifndef FITS_SUPPORT_DEADLINE_HH_
+#define FITS_SUPPORT_DEADLINE_HH_
+
+#include <chrono>
+
+namespace fits::support {
+
+/**
+ * Cooperative cancellation point: a wall-clock deadline checked by the
+ * long-running analyses (UCSE exploration, reaching definitions, both
+ * taint engines). A default-constructed Deadline never expires, so all
+ * default paths behave exactly as before; only callers that arm a
+ * budget pay the (periodic) clock read.
+ *
+ * Deadlines are plain values — copy them into worker configs freely.
+ * Loops should check `expiredCoarse(counter)` rather than `expired()`
+ * directly so the steady_clock read is amortized over ~256 iterations.
+ */
+class Deadline
+{
+  public:
+    /** Never expires. */
+    Deadline() = default;
+
+    static Deadline
+    never()
+    {
+        return Deadline();
+    }
+
+    /** Expires `ms` milliseconds from now; ms <= 0 means "already
+     * expired" (useful for tests and fault injection). */
+    static Deadline
+    afterMs(double ms)
+    {
+        Deadline d;
+        d.active_ = true;
+        d.at_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+        return d;
+    }
+
+    bool active() const { return active_; }
+
+    /** One clock read; always false when inactive. */
+    bool
+    expired() const
+    {
+        return active_ && std::chrono::steady_clock::now() >= at_;
+    }
+
+    /** Amortized check for hot loops: reads the clock only every 256th
+     * call (per counter). Pass the loop's own step counter. */
+    bool
+    expiredCoarse(std::size_t counter) const
+    {
+        return active_ && (counter & 0xff) == 0 && expired();
+    }
+
+    /** Milliseconds until expiry; negative once expired. Meaningless
+     * (a large positive number) when inactive. */
+    double
+    remainingMs() const
+    {
+        if (!active_)
+            return 1e18;
+        return std::chrono::duration<double, std::milli>(
+                   at_ - std::chrono::steady_clock::now())
+            .count();
+    }
+
+  private:
+    bool active_ = false;
+    std::chrono::steady_clock::time_point at_{};
+};
+
+/**
+ * The `FITS_STAGE_TIMEOUT_MS` environment knob: default per-stage
+ * budget in milliseconds applied by PipelineConfig (and the taint
+ * engine configs) when no explicit budget is set. 0 (or unset, or
+ * unparsable) means "no deadline" — the exact pre-knob behavior.
+ * Parsed once at first use.
+ */
+double envStageTimeoutMs();
+
+} // namespace fits::support
+
+#endif // FITS_SUPPORT_DEADLINE_HH_

@@ -6,12 +6,16 @@
 #include <string>
 #include <utility>
 
+#include "support/status.hh"
+
 namespace fits::support {
 
 /**
- * A value-or-error-message result, used across module boundaries instead
- * of exceptions (firmware parsing in particular must report malformed
- * input as data, not control flow).
+ * A value-or-error result, used across module boundaries instead of
+ * exceptions (firmware parsing in particular must report malformed
+ * input as data, not control flow). Errors carry a typed Status
+ * (stage + error code + message); the legacy string-only constructor
+ * produces an untyped Internal status so old call sites keep working.
  */
 template <typename T>
 class Result
@@ -26,13 +30,22 @@ class Result
         return r;
     }
 
-    /** Failed result carrying a human-readable reason. */
+    /** Failed result carrying a typed status. */
+    static Result
+    error(Status status)
+    {
+        assert(!status.isOk());
+        Result r;
+        r.status_ = std::move(status);
+        return r;
+    }
+
+    /** Failed result carrying only a human-readable reason (legacy;
+     * attributed as Stage::None / Internal). */
     static Result
     error(std::string message)
     {
-        Result r;
-        r.error_ = std::move(message);
-        return r;
+        return error(Status::internal(std::move(message)));
     }
 
     bool hasValue() const { return value_.has_value(); }
@@ -61,13 +74,16 @@ class Result
         return std::move(*value_);
     }
 
+    /** Typed status; Status::ok() for successful results. */
+    const Status &status() const { return status_; }
+
     /** Error message; empty for successful results. */
-    const std::string &errorMessage() const { return error_; }
+    const std::string &errorMessage() const { return status_.message(); }
 
   private:
     Result() = default;
     std::optional<T> value_;
-    std::string error_;
+    Status status_;
 };
 
 } // namespace fits::support

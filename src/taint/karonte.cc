@@ -6,7 +6,9 @@
 #include <unordered_set>
 
 #include "analysis/ucse.hh"
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
+#include "support/deadline.hh"
 #include "taint/labels.hh"
 
 namespace fits::taint {
@@ -104,6 +106,10 @@ struct Engine
     /** Current whole-binary budget; raised for the ITS phase. */
     std::size_t budgetLimit = 0;
     bool budgetExhausted = false;
+    /** Wall-clock budget shared by both phases. */
+    support::Deadline deadline;
+    bool deadlineExpired = false;
+    std::size_t deadlineTick = 0;
 
     Engine(const ProgramAnalysis &pa_,
            const KaronteEngine::Config &config_,
@@ -211,6 +217,8 @@ struct Engine
     void
     exploreRoot(FnId root)
     {
+        if (deadlineExpired)
+            return;
         if (totalSteps >= budgetLimit) {
             budgetExhausted = true;
             return;
@@ -262,6 +270,10 @@ struct Engine
         while (!path.frames.empty()) {
             if (steps >= rootBudget) {
                 budgetExhausted = true;
+                return;
+            }
+            if (deadline.expiredCoarse(deadlineTick++)) {
+                deadlineExpired = true;
                 return;
             }
             Frame &frame = path.frames.back();
@@ -613,6 +625,10 @@ KaronteEngine::run(const ProgramAnalysis &pa,
 {
     obs::ScopedTimer runSpan("taint/karonte");
     Engine engine(pa, config_, sources);
+    if (config_.deadlineMs > 0.0)
+        engine.deadline = support::Deadline::afterMs(config_.deadlineMs);
+    if (chaos::shouldInject("taint.karonte"))
+        engine.deadlineExpired = true;
 
     // Roots: functions containing a source site (CTS import call or
     // ITS call) — Karonte's border-function seeding. The CTS-rooted
@@ -707,6 +723,7 @@ KaronteEngine::run(const ProgramAnalysis &pa,
     sortAlerts(report.alerts);
     report.steps = engine.totalSteps;
     report.budgetExhausted = engine.budgetExhausted;
+    report.deadlineExpired = engine.deadlineExpired;
     report.analysisMs = runSpan.stopMs();
 
     if (obs::enabled()) {
@@ -722,6 +739,8 @@ KaronteEngine::run(const ProgramAnalysis &pa,
             obs::addCounter("taint.karonte.phase_a_exhausted");
         if (engine.budgetExhausted)
             obs::addCounter("taint.karonte.budget_exhausted");
+        if (engine.deadlineExpired)
+            obs::addCounter("taint.karonte.deadline_expired");
     }
     return report;
 }

@@ -62,6 +62,11 @@ class KaronteEngine
 
         /** Follow UCSE-resolved indirect call edges. */
         bool resolveIndirectCalls = true;
+
+        /** Wall-clock budget in milliseconds; 0 = unlimited. On
+         * expiry exploration stops and the report carries the alerts
+         * found so far with deadlineExpired set. */
+        double deadlineMs = 0.0;
     };
 
     KaronteEngine();

@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "chaos/chaos.hh"
 #include "obs/metrics.hh"
+#include "support/deadline.hh"
 #include "taint/labels.hh"
 
 namespace fits::taint {
@@ -489,6 +491,14 @@ StaEngine::run(const ProgramAnalysis &pa,
     for (FnId id = 0; id < pa.linked->fnCount(); ++id)
         worklist.push_back(id);
 
+    const support::Deadline deadline =
+        config_.deadlineMs > 0.0
+            ? support::Deadline::afterMs(config_.deadlineMs)
+            : support::Deadline::never();
+    bool expired = chaos::shouldInject("taint.sta");
+    if (expired)
+        worklist.clear();
+
     std::size_t processed = 0;
     const std::size_t cap =
         config_.maxRounds * std::max<std::size_t>(
@@ -497,6 +507,10 @@ StaEngine::run(const ProgramAnalysis &pa,
     while (!worklist.empty()) {
         if (processed++ > cap) {
             exhausted = true;
+            break;
+        }
+        if (deadline.expiredCoarse(processed)) {
+            expired = true;
             break;
         }
         const FnId id = worklist.front();
@@ -533,6 +547,7 @@ StaEngine::run(const ProgramAnalysis &pa,
     sortAlerts(report.alerts);
     report.steps = engine.steps;
     report.budgetExhausted = exhausted;
+    report.deadlineExpired = expired;
     report.analysisMs = runSpan.stopMs();
 
     if (obs::enabled()) {
@@ -544,6 +559,8 @@ StaEngine::run(const ProgramAnalysis &pa,
         obs::addCounter("taint.sta.alerts", report.alerts.size());
         if (exhausted)
             obs::addCounter("taint.sta.budget_exhausted");
+        if (expired)
+            obs::addCounter("taint.sta.deadline_expired");
     }
     return report;
 }

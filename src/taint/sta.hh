@@ -39,6 +39,12 @@ class StaEngine
 
         /** Per-function layout-order iterations per sweep. */
         std::size_t passesPerFunction = 2;
+
+        /** Wall-clock budget in milliseconds; 0 = unlimited. On
+         * expiry the fixpoint stops where it is and the collection
+         * sweep still runs, so the report carries partial alerts with
+         * deadlineExpired set. */
+        double deadlineMs = 0.0;
     };
 
     StaEngine();

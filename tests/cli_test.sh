@@ -71,14 +71,80 @@ fi
 grep -q "failed samples: 1/1" "$DIR/allfail.out"
 grep -q "garbage.fwimg" "$DIR/allfail.err"
 
-# Error paths exit non-zero.
-if "$FITS" info /nonexistent.fwimg 2> /dev/null; then
+# Error paths exit non-zero with a per-path diagnostic.
+if "$FITS" info /nonexistent.fwimg 2> "$DIR/missing.err"; then
     echo "expected failure on a missing file" >&2
     exit 1
 fi
+grep -q "no such file" "$DIR/missing.err"
+if "$FITS" info "$DIR" 2> "$DIR/isdir.err"; then
+    echo "expected failure on a directory argument" >&2
+    exit 1
+fi
+grep -q "is a directory" "$DIR/isdir.err"
+if "$FITS" corpus --dir /no/such/dir 2> "$DIR/baddir.err"; then
+    echo "expected failure on a missing corpus dir" >&2
+    exit 1
+fi
+grep -q "no such directory" "$DIR/baddir.err"
 if "$FITS" bogus-command x 2> /dev/null; then
     echo "expected usage failure" >&2
     exit 1
 fi
+
+# Corrupted on-disk images fail with a typed unpack error — never a
+# crash: a truncated copy and a bit-flipped copy of a valid image.
+head -c 100 "$IMG" > "$DIR/trunc.fwimg"
+if "$FITS" info "$DIR/trunc.fwimg" 2> "$DIR/trunc.err"; then
+    echo "expected failure on a truncated image" >&2
+    exit 1
+fi
+grep -q "unpack failed" "$DIR/trunc.err"
+cp "$IMG" "$DIR/flipped.fwimg"
+printf '\377' | dd of="$DIR/flipped.fwimg" bs=1 seek=200 \
+    conv=notrunc 2> /dev/null
+if "$FITS" info "$DIR/flipped.fwimg" 2> "$DIR/flipped.err"; then
+    echo "expected failure on a bit-flipped image" >&2
+    exit 1
+fi
+grep -q "unpack failed" "$DIR/flipped.err"
+mkdir "$DIR/corrupt"
+cp "$DIR/trunc.fwimg" "$DIR/flipped.fwimg" "$DIR/corrupt/"
+if "$FITS" corpus --dir "$DIR/corrupt" > "$DIR/corrupt.out" \
+        2> /dev/null; then
+    echo "expected failure on an all-corrupt corpus" >&2
+    exit 1
+fi
+grep -q "failed samples: 2/2" "$DIR/corrupt.out"
+
+# The fault-site catalog is printed by `fits faults`.
+"$FITS" faults > "$DIR/faults.out"
+grep -q "unpack.magic" "$DIR/faults.out"
+grep -q "taint.karonte" "$DIR/faults.out"
+grep -q "FITS_FAULTS" "$DIR/faults.out"
+
+# An injected unpack fault surfaces as a typed, named error.
+if FITS_FAULTS=unpack.magic "$FITS" info "$IMG" \
+        2> "$DIR/fault.err"; then
+    echo "expected failure under FITS_FAULTS=unpack.magic" >&2
+    exit 1
+fi
+grep -q "injected fault at unpack.magic" "$DIR/fault.err"
+
+# A malformed spec is reported and ignored; the run still succeeds.
+FITS_FAULTS=bogus.site "$FITS" info "$IMG" > /dev/null \
+    2> "$DIR/badspec.err"
+grep -q "ignoring FITS_FAULTS" "$DIR/badspec.err"
+
+# A one-shot fault is absorbed by the corpus runner's retry.
+FITS_FAULTS="unpack.magic#1:1" "$FITS" corpus --dir "$DIR/corpus" \
+    --jobs 1 > "$DIR/retry.out"
+grep -q "degraded samples: 0/1 (1 retried)" "$DIR/retry.out"
+
+# An immediately-expiring stage budget degrades instead of failing.
+FITS_STAGE_TIMEOUT_MS=0.001 "$FITS" corpus --dir "$DIR/corpus" \
+    --jobs 1 > "$DIR/degraded.out" 2> "$DIR/degraded.err"
+grep -q "degraded samples: 1/1" "$DIR/degraded.out"
+grep -q "sample degraded" "$DIR/degraded.err"
 
 echo "cli ok"

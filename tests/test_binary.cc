@@ -225,21 +225,29 @@ TEST(Fbin, RejectsBadMagic)
 {
     auto bytes = writeBinary(makeImage());
     bytes[0] = 'X';
-    EXPECT_FALSE(loadBinary(bytes));
+    const auto loaded = loadBinary(bytes);
+    EXPECT_FALSE(loaded);
+    EXPECT_EQ(loaded.status().code(), support::ErrorCode::BadMagic);
+    EXPECT_EQ(loaded.status().stage(), support::Stage::Lift);
 }
 
 TEST(Fbin, RejectsBadVersion)
 {
     auto bytes = writeBinary(makeImage());
     bytes[4] = 0xee;
-    EXPECT_FALSE(loadBinary(bytes));
+    const auto loaded = loadBinary(bytes);
+    EXPECT_FALSE(loaded);
+    EXPECT_EQ(loaded.status().code(),
+              support::ErrorCode::BadVersion);
 }
 
 TEST(Fbin, RejectsTrailingGarbage)
 {
     auto bytes = writeBinary(makeImage());
     bytes.push_back(0);
-    EXPECT_FALSE(loadBinary(bytes));
+    const auto loaded = loadBinary(bytes);
+    EXPECT_FALSE(loaded);
+    EXPECT_EQ(loaded.status().code(), support::ErrorCode::Corrupt);
 }
 
 TEST(Fbin, RejectsEveryTruncation)
@@ -250,7 +258,16 @@ TEST(Fbin, RejectsEveryTruncation)
     for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
         std::vector<std::uint8_t> prefix(bytes.begin(),
                                          bytes.begin() + cut);
-        EXPECT_FALSE(loadBinary(prefix)) << "prefix length " << cut;
+        const auto loaded = loadBinary(prefix);
+        EXPECT_FALSE(loaded) << "prefix length " << cut;
+        // Truncation is reported as a typed lift-stage error, never
+        // the catch-all Internal code.
+        EXPECT_EQ(loaded.status().stage(), support::Stage::Lift)
+            << "prefix length " << cut;
+        EXPECT_NE(loaded.status().code(),
+                  support::ErrorCode::Internal)
+            << "prefix length " << cut << ": "
+            << loaded.status().toString();
     }
 }
 

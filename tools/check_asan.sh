@@ -16,4 +16,11 @@ cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" FITS_JOBS=4 \
     "$BUILD/tests/fits_tests"
 
+# Second pass: the chaos fault-injection sweep and the corruption
+# fuzzers (truncated / bit-flipped containers) specifically probe the
+# decoder bounds checks that ASan is best at catching.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" FITS_JOBS=4 \
+    "$BUILD/tests/fits_tests" \
+    --gtest_filter='ChaosTest.*:Corruption.*:Fbin.RejectsEveryTruncation:Fbin.SurvivesRandomByteFlips'
+
 echo "asan: no memory errors detected"

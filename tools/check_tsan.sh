@@ -19,4 +19,10 @@ cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
 TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
     --gtest_filter='ThreadPool.*:ParallelFor.*:ResolveJobs.*:CorpusRunner.*:BehaviorAnalyzer.*:Logger.*:Obs*'
 
+# The chaos registry is lock-free (relaxed atomic counters read by
+# concurrent pipeline workers); run the injection sweep under TSan to
+# prove arming faults does not introduce races into the fan-out.
+TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
+    --gtest_filter='ChaosTest.*'
+
 echo "tsan: no data races detected"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Build the test suite under UndefinedBehaviorSanitizer and run the
+# suites most likely to hit UB on adversarial input: the corruption /
+# truncation fuzzers, the chaos fault-injection sweep, and the binary
+# and firmware container decoders. Any UB report aborts the run
+# (-fno-sanitize-recover=all).
+#
+# Usage: tools/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -e
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-ubsan"}
+
+cmake -B "$BUILD" -S "$ROOT" -DFITS_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
+
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" FITS_JOBS=4 \
+    "$BUILD/tests/fits_tests" \
+    --gtest_filter='ChaosTest.*:Deadline.*:Corruption.*:Fbin.*:ByteBuf.*:Fwimg.*'
+
+echo "ubsan: no undefined behavior detected"

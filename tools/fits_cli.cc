@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "analysis/program_analysis.hh"
+#include "chaos/chaos.hh"
 #include "core/anchors.hh"
 #include "core/pipeline.hh"
 #include "eval/corpus_runner.hh"
@@ -71,8 +72,28 @@ usage()
         "  fits corpus [--jobs N] [--taint] [--dir DIR] "
         "[--metrics-out FILE]\n"
         "              (FITS_JOBS also sets N; exits 1 when every "
-        "sample fails)\n");
+        "sample fails)\n"
+        "  fits faults   (list fault-injection sites; arm with "
+        "FITS_FAULTS=<spec>[:<seed>])\n"
+        "env: FITS_STAGE_TIMEOUT_MS bounds each cooperative pipeline "
+        "stage\n");
     return 2;
+}
+
+int
+cmdFaults()
+{
+    std::printf("fault-injection sites (arm with "
+                "FITS_FAULTS=<rules>[:<seed>], e.g.\n"
+                "FITS_FAULTS='unpack.*@25,taint.sta:7'; rules are "
+                "site[@percent][#max-fires],\n"
+                "'*' is a trailing glob):\n\n");
+    std::printf("  %-16s %-10s %s\n", "site", "stage", "effect");
+    for (const auto &site : chaos::knownSites()) {
+        std::printf("  %-16s %-10s %s\n", site.name,
+                    support::stageName(site.stage), site.description);
+    }
+    return 0;
 }
 
 bool
@@ -83,6 +104,35 @@ readFile(const std::string &path, std::vector<std::uint8_t> &bytes)
         return false;
     bytes.assign(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
+    return true;
+}
+
+/** Read an image argument, or print WHY it cannot be read (missing,
+ * a directory, unreadable) to stderr and return false. */
+bool
+readImageArg(const std::string &path, std::vector<std::uint8_t> &bytes)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::file_status st = fs::status(path, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+        std::fprintf(stderr, "cannot read %s: no such file\n",
+                     path.c_str());
+        return false;
+    }
+    if (st.type() == fs::file_type::directory) {
+        std::fprintf(stderr,
+                     "cannot read %s: is a directory "
+                     "(expected a .fwimg file)\n",
+                     path.c_str());
+        return false;
+    }
+    if (!readFile(path, bytes)) {
+        std::fprintf(stderr, "cannot read %s: open failed "
+                             "(permissions?)\n",
+                     path.c_str());
+        return false;
+    }
     return true;
 }
 
@@ -174,10 +224,8 @@ int
 cmdInfo(const std::string &path)
 {
     std::vector<std::uint8_t> bytes;
-    if (!readFile(path, bytes)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    if (!readImageArg(path, bytes))
         return 1;
-    }
     auto unpacked = fw::unpackFirmware(bytes);
     if (!unpacked) {
         std::fprintf(stderr, "unpack failed: %s\n",
@@ -235,10 +283,8 @@ cmdRank(const std::string &path, int argc, char **argv)
     }
 
     std::vector<std::uint8_t> bytes;
-    if (!readFile(path, bytes)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    if (!readImageArg(path, bytes))
         return 1;
-    }
     const core::FitsPipeline pipeline(config);
     const auto result = pipeline.run(bytes);
     if (!result.ok) {
@@ -282,10 +328,8 @@ cmdTaint(const std::string &path, int argc, char **argv)
         return usage();
 
     std::vector<std::uint8_t> bytes;
-    if (!readFile(path, bytes)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    if (!readImageArg(path, bytes))
         return 1;
-    }
     auto unpacked = fw::unpackFirmware(bytes);
     if (!unpacked) {
         std::fprintf(stderr, "unpack failed: %s\n",
@@ -335,10 +379,8 @@ int
 cmdScore(const std::string &path)
 {
     std::vector<std::uint8_t> bytes;
-    if (!readFile(path, bytes)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    if (!readImageArg(path, bytes))
         return 1;
-    }
     // Parse the ground-truth sidecar.
     std::ifstream truthIn(path + ".truth");
     if (!truthIn) {
@@ -425,10 +467,8 @@ int
 cmdDisasm(const std::string &path, const std::string &addrText)
 {
     std::vector<std::uint8_t> bytes;
-    if (!readFile(path, bytes)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    if (!readImageArg(path, bytes))
         return 1;
-    }
     auto unpacked = fw::unpackFirmware(bytes);
     if (!unpacked) {
         std::fprintf(stderr, "unpack failed: %s\n",
@@ -457,17 +497,41 @@ cmdDisasm(const std::string &path, const std::string &addrText)
 
 /** Load every *.fwimg under `dir` (sorted by path) as a corpus
  * sample. Files are analyzed as-is: the spec carries only the file
- * name for identity and the ground truth stays empty. */
+ * name for identity and the ground truth stays empty. Sets *dirOk to
+ * false (with a message on stderr) when `dir` is missing, not a
+ * directory, or unlistable. */
 std::vector<synth::GeneratedFirmware>
-loadCorpusDir(const std::string &dir)
+loadCorpusDir(const std::string &dir, bool *dirOk)
 {
     namespace fs = std::filesystem;
-    std::vector<fs::path> paths;
+    *dirOk = true;
+
     std::error_code ec;
+    const fs::file_status st = fs::status(dir, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+        std::fprintf(stderr, "bad --dir %s: no such directory\n",
+                     dir.c_str());
+        *dirOk = false;
+        return {};
+    }
+    if (st.type() != fs::file_type::directory) {
+        std::fprintf(stderr, "bad --dir %s: not a directory\n",
+                     dir.c_str());
+        *dirOk = false;
+        return {};
+    }
+
+    std::vector<fs::path> paths;
     for (const auto &entry : fs::directory_iterator(dir, ec)) {
         if (entry.is_regular_file() &&
             entry.path().extension() == ".fwimg")
             paths.push_back(entry.path());
+    }
+    if (ec) {
+        std::fprintf(stderr, "bad --dir %s: %s\n", dir.c_str(),
+                     ec.message().c_str());
+        *dirOk = false;
+        return {};
     }
     std::sort(paths.begin(), paths.end());
 
@@ -514,9 +578,12 @@ cmdCorpus(int argc, char **argv)
     eval::CorpusRunner::Config config;
     config.jobs = jobs;
     const eval::CorpusRunner runner(config);
+    bool dirOk = true;
     const auto corpus = corpusDir.empty()
                             ? synth::generateStandardCorpus()
-                            : loadCorpusDir(corpusDir);
+                            : loadCorpusDir(corpusDir, &dirOk);
+    if (!dirOk)
+        return 1;
     if (corpus.empty()) {
         std::fprintf(stderr, "no corpus samples%s%s\n",
                      corpusDir.empty() ? "" : " under ",
@@ -606,17 +673,39 @@ cmdCorpus(int argc, char **argv)
 
     // Failure accounting: every sample whose pipeline (or taint
     // batch) errored, identified by its spec. All-samples-failed is a
-    // hard error — the run produced no usable numbers.
+    // hard error — the run produced no usable numbers. Degraded
+    // samples (partial results: a missing library, an expired stage
+    // budget) are listed separately and are not failures.
     std::size_t failed = 0;
+    std::size_t degraded = 0;
+    std::size_t retried = 0;
     for (const auto &outcome : outcomes) {
+        const std::string &name = outcome.inference.spec.name.empty()
+                                      ? outcome.taint.spec.name
+                                      : outcome.inference.spec.name;
+        if (outcome.inference.retried || outcome.taint.retried)
+            ++retried;
+        if (outcome.inference.degraded ||
+            (withTaint && outcome.taint.degraded)) {
+            ++degraded;
+            const auto &issues = outcome.inference.degraded
+                                     ? outcome.inference.issues
+                                     : outcome.taint.issues;
+            std::string why;
+            for (const auto &issue : issues) {
+                if (!why.empty())
+                    why += "; ";
+                why += issue.toString();
+            }
+            std::fprintf(stderr, "sample degraded: %s: %s\n",
+                         name.empty() ? "<unnamed>" : name.c_str(),
+                         why.empty() ? "partial result" : why.c_str());
+        }
         const bool bad = !outcome.inference.ok ||
                          (withTaint && !outcome.taint.ok);
         if (!bad)
             continue;
         ++failed;
-        const std::string &name = outcome.inference.spec.name.empty()
-                                      ? outcome.taint.spec.name
-                                      : outcome.inference.spec.name;
         const std::string &error = outcome.inference.error.empty()
                                        ? outcome.taint.error
                                        : outcome.inference.error;
@@ -626,6 +715,10 @@ cmdCorpus(int argc, char **argv)
     }
     std::printf("\nfailed samples: %zu/%zu\n", failed,
                 outcomes.size());
+    if (degraded > 0 || retried > 0) {
+        std::printf("degraded samples: %zu/%zu (%zu retried)\n",
+                    degraded, outcomes.size(), retried);
+    }
     std::printf("wall clock: %.1f ms with %zu jobs\n", wallMs,
                 runner.jobs());
 
@@ -652,6 +745,8 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     if (command == "corpus")
         return cmdCorpus(argc - 2, argv + 2);
+    if (command == "faults")
+        return cmdFaults();
     if (argc < 3)
         return usage();
     if (command == "gen")
