@@ -11,6 +11,7 @@
 
 #include "analysis/program_analysis.hh"
 #include "obs/bench_record.hh"
+#include "obs/metrics.hh"
 #include "binary/fbin.hh"
 #include "core/behavior.hh"
 #include "core/infer.hh"
@@ -86,9 +87,9 @@ void
 BM_UcsePerFunction(benchmark::State &state)
 {
     const auto &t = target();
-    const analysis::UcseExplorer explorer(t.main);
+    const analysis::UcseExplorer explorer(*t.main);
     std::size_t i = 0;
-    const auto &fns = t.main.program.functions();
+    const auto &fns = t.main->program.functions();
     for (auto _ : state) {
         auto result = explorer.explore(fns[i++ % fns.size()]);
         benchmark::DoNotOptimize(result);
@@ -101,10 +102,10 @@ BM_FunctionAnalysis(benchmark::State &state)
 {
     const auto &t = target();
     std::size_t i = 0;
-    const auto &fns = t.main.program.functions();
+    const auto &fns = t.main->program.functions();
     for (auto _ : state) {
         auto fa = analysis::FunctionAnalysis::analyze(
-            t.main, fns[i++ % fns.size()]);
+            *t.main, fns[i++ % fns.size()]);
         benchmark::DoNotOptimize(fa);
     }
 }
@@ -115,7 +116,7 @@ BM_WholeProgramAnalysis(benchmark::State &state)
 {
     const auto &t = target();
     for (auto _ : state) {
-        const analysis::LinkedProgram linked(t.main, t.libraries);
+        const analysis::LinkedProgram linked(*t.main, t.libraries);
         auto pa = analysis::ProgramAnalysis::analyze(linked);
         benchmark::DoNotOptimize(pa);
     }
@@ -126,7 +127,7 @@ void
 BM_BehaviorExtraction(benchmark::State &state)
 {
     const auto &t = target();
-    const analysis::LinkedProgram linked(t.main, t.libraries);
+    const analysis::LinkedProgram linked(*t.main, t.libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
     const core::BehaviorAnalyzer analyzer;
     for (auto _ : state) {
@@ -140,7 +141,7 @@ void
 BM_BehaviorExtractionParallel(benchmark::State &state)
 {
     const auto &t = target();
-    const analysis::LinkedProgram linked(t.main, t.libraries);
+    const analysis::LinkedProgram linked(*t.main, t.libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
     core::BehaviorAnalyzer::Config config;
     config.jobs = support::hardwareJobs();
@@ -156,7 +157,7 @@ void
 BM_InferIts(benchmark::State &state)
 {
     const auto &t = target();
-    const analysis::LinkedProgram linked(t.main, t.libraries);
+    const analysis::LinkedProgram linked(*t.main, t.libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
     const core::BehaviorAnalyzer analyzer;
     const auto repr = analyzer.analyze(pa);
@@ -166,6 +167,36 @@ BM_InferIts(benchmark::State &state)
     }
 }
 BENCHMARK(BM_InferIts);
+
+void
+BM_ReachingDefs(benchmark::State &state)
+{
+    const auto &t = target();
+    // Everything upstream of the reach-defs kernel (UCSE for resolved
+    // jumps, CFG, constants, parameter count) is computed once; the
+    // timed loop re-runs only the worklist fixpoint.
+    struct Prep
+    {
+        const ir::Function *fn;
+        analysis::Cfg cfg;
+        analysis::TmpConstMap consts;
+        int numParams;
+    };
+    std::vector<Prep> preps;
+    for (const auto &fn : t.main->program.functions()) {
+        auto fa = analysis::FunctionAnalysis::analyze(*t.main, fn);
+        preps.push_back({&fn, std::move(fa.cfg),
+                         std::move(fa.consts), fa.params.count});
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Prep &p = preps[i++ % preps.size()];
+        auto flow = analysis::ReachingDefs::analyze(
+            p.cfg, *p.fn, p.consts, p.numParams);
+        benchmark::DoNotOptimize(flow);
+    }
+}
+BENCHMARK(BM_ReachingDefs);
 
 void
 BM_Dbscan(benchmark::State &state)
@@ -197,8 +228,48 @@ main(int argc, char **argv)
     const std::size_t run = benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
+    // One obs-instrumented pass over the shared sample captures the
+    // hot-kernel spans (kernel.reachdef from whole-program analysis,
+    // kernel.cluster / kernel.rank from inference) so BENCH_micro.json
+    // records their absolute cost alongside the benchmark rates.
+    fits::obs::Registry::instance().reset();
+    fits::obs::setEnabled(true);
+    {
+        const auto &t = target();
+        const fits::analysis::LinkedProgram linked(*t.main,
+                                                   t.libraries);
+        const auto pa = fits::analysis::ProgramAnalysis::analyze(linked);
+        const fits::core::BehaviorAnalyzer analyzer;
+        const auto repr = analyzer.analyze(pa);
+        auto result = fits::core::inferIts(repr);
+        benchmark::DoNotOptimize(result);
+    }
+    fits::obs::setEnabled(false);
+    const auto snapshot = fits::obs::Registry::instance().snapshot();
+
     fits::obs::BenchRecord record("micro");
     record.add("benchmarks_run", static_cast<double>(run));
+    const auto addKernel = [&](const std::string &key,
+                               const std::string &span) {
+        // Spans nest under their parent ("cluster/kernel.cluster"),
+        // so match the leaf name anywhere in the hierarchy.
+        for (const auto &[name, view] : snapshot.timers) {
+            if (name != span &&
+                (name.size() <= span.size() ||
+                 name.compare(name.size() - span.size() - 1,
+                              std::string::npos,
+                              "/" + span) != 0)) {
+                continue;
+            }
+            record.add(key + "_ms", view.totalMs);
+            record.add(key + "_calls",
+                       static_cast<double>(view.count));
+            return;
+        }
+    };
+    addKernel("kernel_reachdef", "kernel.reachdef");
+    addKernel("kernel_cluster", "kernel.cluster");
+    addKernel("kernel_rank", "kernel.rank");
     record.write();
     return 0;
 }

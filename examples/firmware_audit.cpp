@@ -87,12 +87,12 @@ main()
         return 1;
     }
     std::printf("network binary: %s (%zu functions), libraries: %zu\n",
-                target.value().main.name.c_str(),
-                target.value().main.program.size(),
+                target.value().main->name.c_str(),
+                target.value().main->program.size(),
                 target.value().libraries.size());
 
     // Stage 2+3: one shared whole-program analysis; FITS ranking.
-    const analysis::LinkedProgram linked(target.value().main,
+    const analysis::LinkedProgram linked(*target.value().main,
                                          target.value().libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
     const core::BehaviorAnalyzer analyzer;

@@ -54,7 +54,7 @@ main()
 
     auto unpacked = fw::unpackFirmware(firmware.bytes);
     auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
-    const bin::BinaryImage &image = target.value().main;
+    const bin::BinaryImage &image = *target.value().main;
 
     // --- what the loader sees ---------------------------------------
     std::printf("=== %s (stripped: %s, arch %s) ===\n\n",

@@ -9,7 +9,23 @@ LinkedProgram::LinkedProgram(const bin::BinaryImage &main,
     images_.push_back(&main);
     for (const auto &lib : libraries)
         images_.push_back(&lib);
+    link();
+}
 
+LinkedProgram::LinkedProgram(
+    const bin::BinaryImage &main,
+    const std::vector<std::shared_ptr<const bin::BinaryImage>> &libraries)
+    : main_(&main)
+{
+    images_.push_back(&main);
+    for (const auto &lib : libraries)
+        images_.push_back(lib.get());
+    link();
+}
+
+void
+LinkedProgram::link()
+{
     for (const bin::BinaryImage *image : images_) {
         for (const auto &fn : image->program.functions()) {
             const FnId id = static_cast<FnId>(fns_.size());

@@ -1,6 +1,7 @@
 #ifndef FITS_ANALYSIS_LINKED_HH_
 #define FITS_ANALYSIS_LINKED_HH_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +36,14 @@ class LinkedProgram
   public:
     LinkedProgram(const bin::BinaryImage &main,
                   const std::vector<bin::BinaryImage> &libraries);
+
+    /** Same view over cache-owned library instances. The caller keeps
+     * the shared_ptrs alive for the program's lifetime (the view stores
+     * raw pointers either way). */
+    LinkedProgram(
+        const bin::BinaryImage &main,
+        const std::vector<std::shared_ptr<const bin::BinaryImage>>
+            &libraries);
 
     std::size_t fnCount() const { return fns_.size(); }
     const FnRef &fn(FnId id) const { return fns_[id]; }
@@ -74,6 +83,8 @@ class LinkedProgram
                        ir::Addr target) const;
 
   private:
+    void link();
+
     const bin::BinaryImage *main_;
     std::vector<const bin::BinaryImage *> images_;
     std::vector<FnRef> fns_;

@@ -1,19 +1,31 @@
 #include "program_analysis.hh"
 
+#include <cassert>
+
 namespace fits::analysis {
 
 ProgramAnalysis
 ProgramAnalysis::analyze(const LinkedProgram &linked,
                          const UcseConfig &config)
 {
-    ProgramAnalysis pa;
-    pa.linked = &linked;
-    pa.fns.reserve(linked.fnCount());
+    std::vector<FunctionAnalysis> fns;
+    fns.reserve(linked.fnCount());
     for (FnId id = 0; id < linked.fnCount(); ++id) {
         const auto &ref = linked.fn(id);
-        pa.fns.push_back(FunctionAnalysis::analyze(*ref.image, *ref.fn,
-                                                   config));
+        fns.push_back(FunctionAnalysis::analyze(*ref.image, *ref.fn,
+                                                config));
     }
+    return fromFunctionAnalyses(linked, std::move(fns));
+}
+
+ProgramAnalysis
+ProgramAnalysis::fromFunctionAnalyses(const LinkedProgram &linked,
+                                      std::vector<FunctionAnalysis> fns)
+{
+    assert(fns.size() == linked.fnCount());
+    ProgramAnalysis pa;
+    pa.linked = &linked;
+    pa.fns = std::move(fns);
 
     std::unordered_map<FnId, const UcseResult *> ucseByFn;
     for (FnId id = 0; id < linked.fnCount(); ++id)

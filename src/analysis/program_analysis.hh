@@ -25,6 +25,16 @@ struct ProgramAnalysis
     static ProgramAnalysis analyze(const LinkedProgram &linked,
                                    const UcseConfig &config = {});
 
+    /** Assemble from precomputed per-function analyses (the analysis
+     * cache concatenates per-image vectors). `fns` must be in the
+     * linked program's FnId order — each element analyzing exactly
+     * `linked.fn(i)` — which per-image `program.functions()` chunks in
+     * [main, libs...] order reproduce by construction. Only the call
+     * graph is computed here. */
+    static ProgramAnalysis
+    fromFunctionAnalyses(const LinkedProgram &linked,
+                         std::vector<FunctionAnalysis> fns);
+
     const FunctionAnalysis &
     fn(FnId id) const
     {

@@ -1,9 +1,12 @@
 #include "reachdef.hh"
 
+#include <algorithm>
+#include <deque>
 #include <unordered_map>
 
 #include "chaos/chaos.hh"
 #include "ir/types.hh"
+#include "obs/metrics.hh"
 
 namespace fits::analysis {
 
@@ -88,6 +91,7 @@ ReachingDefs::analyze(const Cfg &cfg, const ir::Function &fn,
                       const TmpConstMap &consts, int numParams,
                       support::Deadline deadline)
 {
+    const obs::ScopedTimer kernelTimer("kernel.reachdef");
     Result result;
     const std::size_t n = fn.blocks.size();
 
@@ -246,24 +250,71 @@ ReachingDefs::analyze(const Cfg &cfg, const ir::Function &fn,
     if (n > 0)
         in[cfg.entry()] = entryIn;
 
-    bool changed = !result.deadlineExpired;
-    while (changed) {
-        changed = false;
-        if (deadline.expiredCoarse(tick++)) {
-            result.deadlineExpired = true;
-            break;
+    // Reverse-post-order worklist instead of round-robin whole-CFG
+    // sweeps: each pop recomputes one block's IN/OUT from its
+    // predecessors and re-enqueues the successors whose input just
+    // changed. The equations are monotone over a finite lattice, so
+    // any processing order converges to the same unique least
+    // fixpoint as the sweeps — RPO seeding just reaches it in
+    // near-minimal visits (one pass for acyclic regions). Blocks
+    // unreachable from the entry are seeded too, in index order:
+    // their OUT = GEN \ KILL feeds the IN of any reachable successor
+    // exactly as the sweeps propagated it.
+    if (!result.deadlineExpired && n > 0) {
+        std::vector<std::size_t> order;
+        order.reserve(n);
+        std::vector<char> seen(n, 0);
+        std::vector<std::pair<std::size_t, std::size_t>> stack;
+        seen[cfg.entry()] = 1;
+        stack.emplace_back(cfg.entry(), 0);
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            const auto &succs = cfg.succs(b);
+            if (next < succs.size()) {
+                const std::size_t succ = succs[next++];
+                if (!seen[succ]) {
+                    seen[succ] = 1;
+                    stack.emplace_back(succ, 0);
+                }
+            } else {
+                order.push_back(b);
+                stack.pop_back();
+            }
         }
+        std::reverse(order.begin(), order.end());
         for (std::size_t b = 0; b < n; ++b) {
+            if (!seen[b])
+                order.push_back(b);
+        }
+
+        std::deque<std::size_t> work(order.begin(), order.end());
+        std::vector<char> queued(n, 1);
+        while (!work.empty()) {
+            if (deadline.expiredCoarse(tick++)) {
+                result.deadlineExpired = true;
+                break;
+            }
+            const std::size_t b = work.front();
+            work.pop_front();
+            queued[b] = 0;
+
             DefSet newIn = b == cfg.entry() ? entryIn : DefSet(nDefs);
             for (std::size_t p : cfg.preds(b))
                 newIn.unionWith(out[p]);
             DefSet newOut = newIn;
             newOut.subtract(kill[b]);
             newOut.unionWith(gen[b]);
-            if (!(newIn == in[b]) || !(newOut == out[b])) {
+
+            if (!(newIn == in[b]))
                 in[b] = std::move(newIn);
+            if (!(newOut == out[b])) {
                 out[b] = std::move(newOut);
-                changed = true;
+                for (std::size_t succ : cfg.succs(b)) {
+                    if (!queued[succ]) {
+                        queued[succ] = 1;
+                        work.push_back(succ);
+                    }
+                }
             }
         }
     }

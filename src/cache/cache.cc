@@ -1,0 +1,815 @@
+#include "cache.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "binary/fbin.hh"
+#include "cache/fingerprint.hh"
+#include "chaos/chaos.hh"
+#include "obs/metrics.hh"
+#include "support/strings.hh"
+
+namespace fits::cache {
+
+namespace {
+
+/** Bumps when the meaning of any fingerprint input changes. */
+constexpr std::uint64_t kAnalysisFingerprintVersion = 1;
+
+/** Disk entry format version; a mismatch reads as a miss. */
+constexpr std::uint32_t kDiskFormatVersion = 1;
+constexpr char kDiskMagic[4] = {'F', 'C', 'H', '1'};
+
+// ---- counters (lock-free; the mutex below guards only the maps) ----
+
+struct Counters
+{
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> diskHits{0};
+    std::atomic<std::uint64_t> diskMisses{0};
+    std::atomic<std::uint64_t> diskCorrupt{0};
+    std::atomic<std::uint64_t> evictions{0};
+};
+
+Counters &
+counters()
+{
+    static auto *c = new Counters;
+    return *c;
+}
+
+void
+bumpHit()
+{
+    counters().hits.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled())
+        obs::addCounter("cache.hits");
+}
+
+void
+bumpMiss()
+{
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled())
+        obs::addCounter("cache.misses");
+}
+
+void
+bumpDisk(bool hit)
+{
+    auto &c = hit ? counters().diskHits : counters().diskMisses;
+    c.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        obs::addCounter(hit ? "cache.disk.hits"
+                            : "cache.disk.misses");
+    }
+}
+
+void
+bumpDiskCorrupt()
+{
+    counters().diskCorrupt.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled())
+        obs::addCounter("cache.disk.corrupt");
+}
+
+// ---- memory tier ---------------------------------------------------
+
+/** A lifted image together with one config's analysis products. The
+ * two travel as one object so cached `FunctionAnalysis::image`/`fn`
+ * pointers can never outlive — or diverge from — their image. */
+struct AnalyzedImage
+{
+    std::shared_ptr<const bin::BinaryImage> image;
+    std::vector<analysis::FunctionAnalysis> fns;
+};
+
+struct ImageOutcome
+{
+    std::shared_ptr<const bin::BinaryImage> image; ///< null = failed
+    support::Status status;
+};
+
+template <typename V>
+struct Slot
+{
+    std::shared_future<V> future;
+    std::uint64_t id = 0;    ///< insertion identity (ABA guard)
+    std::uint64_t tick = 0;  ///< LRU clock
+    std::size_t bytes = 0;   ///< 0 while unresolved (never evicted)
+};
+
+struct BlobEntry
+{
+    std::shared_ptr<const std::string> payload;
+    std::uint64_t tick = 0;
+    std::size_t bytes = 0;
+};
+
+struct AnalysisKey
+{
+    const void *image = nullptr;
+    std::uint64_t fingerprint = 0;
+
+    bool
+    operator==(const AnalysisKey &other) const
+    {
+        return image == other.image &&
+               fingerprint == other.fingerprint;
+    }
+};
+
+struct AnalysisKeyHash
+{
+    std::size_t
+    operator()(const AnalysisKey &key) const
+    {
+        const auto a =
+            reinterpret_cast<std::uintptr_t>(key.image);
+        return static_cast<std::size_t>(
+            (a * 0x9e3779b97f4a7c15ull) ^ key.fingerprint);
+    }
+};
+
+struct State
+{
+    std::mutex mutex;
+    Options options;
+    std::uint64_t nextId = 0;
+    std::uint64_t tick = 0;
+    std::size_t totalBytes = 0;
+    std::unordered_map<std::uint64_t, Slot<ImageOutcome>> images;
+    std::unordered_map<AnalysisKey,
+                       Slot<std::shared_ptr<const AnalyzedImage>>,
+                       AnalysisKeyHash>
+        analyses;
+    std::unordered_map<std::string, BlobEntry> blobs;
+};
+
+State &
+state()
+{
+    // Leaked singleton (mirrors obs/chaos): cached products may be
+    // referenced from worker threads during static destruction.
+    static auto *s = new State;
+    return *s;
+}
+
+/** FITS_CACHE_DIR arms the disk tier at load time. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *env = std::getenv("FITS_CACHE_DIR");
+        if (env == nullptr || *env == '\0')
+            return;
+        State &s = state();
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        s.options.disk = true;
+        s.options.dir = env;
+    }
+};
+
+const EnvInit g_envInit;
+
+void
+publishBytesLocked(const State &s)
+{
+    if (obs::enabled())
+        obs::setGauge("cache.bytes",
+                      static_cast<double>(s.totalBytes));
+}
+
+/** Rough footprint of a lifted image: section bytes dominate; code
+ * statements and tables ride on fixed per-item estimates. */
+std::size_t
+approxImageBytes(const bin::BinaryImage &image)
+{
+    std::size_t total = sizeof(bin::BinaryImage) + 1024;
+    total += image.byteSize();
+    for (const auto &fn : image.program.functions()) {
+        total += 128 + fn.blocks.size() * 64;
+        for (const auto &block : fn.blocks)
+            total += block.stmts.size() * sizeof(ir::Stmt);
+    }
+    return total;
+}
+
+std::size_t
+approxAnalysesBytes(const AnalyzedImage &product)
+{
+    std::size_t total = sizeof(AnalyzedImage);
+    for (const auto &fa : product.fns) {
+        total += sizeof(analysis::FunctionAnalysis) + 256;
+        std::size_t stmts = 0;
+        for (const auto &block : fa.fn->blocks)
+            stmts += block.stmts.size();
+        // DDG chains and def sets scale with statement count.
+        total += fa.fn->blocks.size() * 96 + stmts * 48;
+        total += fa.flow.defs.size() * 32;
+    }
+    return total;
+}
+
+/** Evict resolved least-recently-used entries until under budget.
+ * In-flight slots (bytes == 0) are skipped: their future is the
+ * single-flight rendezvous. */
+void
+evictLocked(State &s)
+{
+    while (s.totalBytes > s.options.maxBytes) {
+        enum class Kind { None, Image, Analysis, Blob };
+        Kind kind = Kind::None;
+        std::uint64_t best = ~0ull;
+        std::uint64_t imageKey = 0;
+        AnalysisKey analysisKey;
+        const std::string *blobKey = nullptr;
+
+        for (const auto &[key, slot] : s.images) {
+            if (slot.bytes > 0 && slot.tick < best) {
+                best = slot.tick;
+                kind = Kind::Image;
+                imageKey = key;
+            }
+        }
+        for (const auto &[key, slot] : s.analyses) {
+            if (slot.bytes > 0 && slot.tick < best) {
+                best = slot.tick;
+                kind = Kind::Analysis;
+                analysisKey = key;
+            }
+        }
+        for (const auto &[key, entry] : s.blobs) {
+            if (entry.tick < best) {
+                best = entry.tick;
+                kind = Kind::Blob;
+                blobKey = &key;
+            }
+        }
+
+        switch (kind) {
+          case Kind::None:
+            return; // everything left is in-flight
+          case Kind::Image: {
+            auto it = s.images.find(imageKey);
+            s.totalBytes -= it->second.bytes;
+            s.images.erase(it);
+            break;
+          }
+          case Kind::Analysis: {
+            auto it = s.analyses.find(analysisKey);
+            s.totalBytes -= it->second.bytes;
+            s.analyses.erase(it);
+            break;
+          }
+          case Kind::Blob: {
+            auto it = s.blobs.find(*blobKey);
+            s.totalBytes -= it->second.bytes;
+            s.blobs.erase(it);
+            break;
+          }
+        }
+        counters().evictions.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled())
+            obs::addCounter("cache.evictions");
+    }
+}
+
+std::string
+blobKeyOf(std::string_view kind, std::uint64_t key1,
+          std::uint64_t key2)
+{
+    return std::string(kind) +
+           support::format(":%016llx:%016llx",
+                           static_cast<unsigned long long>(key1),
+                           static_cast<unsigned long long>(key2));
+}
+
+// ---- disk tier -----------------------------------------------------
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool
+getU32(std::string_view in, std::size_t &pos, std::uint32_t &v)
+{
+    if (in.size() - pos < 4)
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[pos + i]))
+             << (8 * i);
+    pos += 4;
+    return true;
+}
+
+bool
+getU64(std::string_view in, std::size_t &pos, std::uint64_t &v)
+{
+    if (in.size() - pos < 8)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[pos + i]))
+             << (8 * i);
+    pos += 8;
+    return true;
+}
+
+/** Read + validate one disk entry; nullopt on any defect. */
+std::optional<std::string>
+readDiskEntry(const std::string &path, std::uint64_t key1,
+              std::uint64_t key2)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (in.bad())
+        return std::nullopt;
+
+    const auto corrupt = [] {
+        bumpDiskCorrupt();
+        return std::nullopt;
+    };
+
+    std::size_t pos = 0;
+    if (raw.size() < 4 ||
+        raw.compare(0, 4, kDiskMagic, 4) != 0)
+        return corrupt();
+    pos = 4;
+    std::uint32_t version = 0;
+    std::uint64_t k1 = 0, k2 = 0, size = 0, checksum = 0;
+    if (!getU32(raw, pos, version) || !getU64(raw, pos, k1) ||
+        !getU64(raw, pos, k2) || !getU64(raw, pos, size) ||
+        !getU64(raw, pos, checksum))
+        return corrupt();
+    if (version != kDiskFormatVersion || k1 != key1 || k2 != key2)
+        return corrupt();
+    if (raw.size() - pos != size)
+        return corrupt();
+    std::string payload = raw.substr(pos);
+    if (support::fnv1a(payload) != checksum)
+        return corrupt();
+    return payload;
+}
+
+/** Write one disk entry atomically (temp file + rename). Failures are
+ * swallowed: a cache store that does not land is just a future miss. */
+void
+writeDiskEntry(const std::string &dir, const std::string &path,
+               std::uint64_t key1, std::uint64_t key2,
+               std::string_view payload)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return;
+
+    std::string entry;
+    entry.reserve(40 + payload.size());
+    entry.append(kDiskMagic, 4);
+    putU32(entry, kDiskFormatVersion);
+    putU64(entry, key1);
+    putU64(entry, key2);
+    putU64(entry, payload.size());
+    putU64(entry, support::fnv1a(payload));
+    entry.append(payload);
+
+    const std::string tmp = path + support::format(
+        ".tmp.%llu", static_cast<unsigned long long>(
+                         reinterpret_cast<std::uintptr_t>(&entry)));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        out.write(entry.data(),
+                  static_cast<std::streamsize>(entry.size()));
+        if (!out) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+/** Aliasing view of the product's analysis vector; keeps the image
+ * (and the whole product) alive through the returned pointer. */
+std::shared_ptr<const std::vector<analysis::FunctionAnalysis>>
+fnsView(std::shared_ptr<const AnalyzedImage> product)
+{
+    const auto *fns = &product->fns;
+    return {std::move(product), fns};
+}
+
+std::shared_ptr<const AnalyzedImage>
+computeAnalyses(const std::shared_ptr<const bin::BinaryImage> &image,
+                const analysis::UcseConfig &config)
+{
+    auto product = std::make_shared<AnalyzedImage>();
+    product->image = image;
+    product->fns.reserve(image->program.size());
+    for (const auto &fn : image->program.functions()) {
+        product->fns.push_back(
+            analysis::FunctionAnalysis::analyze(*image, fn, config));
+    }
+    return product;
+}
+
+} // namespace
+
+void
+configure(const Options &options)
+{
+    State &s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.options = options;
+    evictLocked(s);
+    publishBytesLocked(s);
+}
+
+Options
+options()
+{
+    State &s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    return s.options;
+}
+
+void
+clearMemory()
+{
+    State &s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.images.clear();
+    s.analyses.clear();
+    s.blobs.clear();
+    s.totalBytes = 0;
+    publishBytesLocked(s);
+}
+
+Stats
+stats()
+{
+    Stats out;
+    const Counters &c = counters();
+    out.hits = c.hits.load(std::memory_order_relaxed);
+    out.misses = c.misses.load(std::memory_order_relaxed);
+    out.diskHits = c.diskHits.load(std::memory_order_relaxed);
+    out.diskMisses = c.diskMisses.load(std::memory_order_relaxed);
+    out.diskCorrupt = c.diskCorrupt.load(std::memory_order_relaxed);
+    out.evictions = c.evictions.load(std::memory_order_relaxed);
+    State &s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    out.bytes = s.totalBytes;
+    return out;
+}
+
+void
+resetStats()
+{
+    Counters &c = counters();
+    c.hits.store(0, std::memory_order_relaxed);
+    c.misses.store(0, std::memory_order_relaxed);
+    c.diskHits.store(0, std::memory_order_relaxed);
+    c.diskMisses.store(0, std::memory_order_relaxed);
+    c.diskCorrupt.store(0, std::memory_order_relaxed);
+    c.evictions.store(0, std::memory_order_relaxed);
+}
+
+bool
+memoryUsable()
+{
+    if (!chaos::rulesConfinedTo("cache."))
+        return false;
+    State &s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    return s.options.memory;
+}
+
+bool
+diskUsable()
+{
+    if (!chaos::rulesConfinedTo("cache."))
+        return false;
+    State &s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    return s.options.disk && !s.options.dir.empty();
+}
+
+std::uint64_t
+fingerprintOf(const analysis::UcseConfig &config)
+{
+    return Fingerprint()
+        .mix(kAnalysisFingerprintVersion)
+        .mix(static_cast<std::uint64_t>(config.maxSteps))
+        .mix(static_cast<std::uint64_t>(config.maxVisitsPerBlock))
+        .value();
+}
+
+support::Result<std::shared_ptr<const bin::BinaryImage>>
+loadImage(const std::vector<std::uint8_t> &bytes)
+{
+    using R = support::Result<std::shared_ptr<const bin::BinaryImage>>;
+    if (!memoryUsable()) {
+        auto loaded = bin::loadBinary(bytes);
+        if (!loaded)
+            return R::error(loaded.status());
+        return R::ok(std::make_shared<const bin::BinaryImage>(
+            loaded.take()));
+    }
+
+    const std::uint64_t key = support::fnv1a(bytes.data(),
+                                             bytes.size());
+    State &s = state();
+    std::promise<ImageOutcome> promise;
+    std::shared_future<ImageOutcome> future;
+    bool owner = false;
+    std::uint64_t id = 0;
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.images.find(key);
+        if (it != s.images.end()) {
+            it->second.tick = ++s.tick;
+            future = it->second.future;
+        } else {
+            owner = true;
+            id = ++s.nextId;
+            Slot<ImageOutcome> slot;
+            slot.future = promise.get_future().share();
+            slot.id = id;
+            slot.tick = ++s.tick;
+            future = slot.future;
+            s.images.emplace(key, std::move(slot));
+        }
+    }
+
+    if (!owner) {
+        // Single-flight join: someone else is (or was) loading these
+        // exact bytes; share their outcome.
+        const ImageOutcome &outcome = future.get();
+        if (outcome.image == nullptr) {
+            bumpMiss();
+            return R::error(outcome.status);
+        }
+        bumpHit();
+        return R::ok(outcome.image);
+    }
+
+    bumpMiss();
+    ImageOutcome outcome;
+    auto loaded = bin::loadBinary(bytes);
+    if (!loaded) {
+        outcome.status = loaded.status();
+        promise.set_value(outcome);
+        // Failures are not cached: drop the slot so a later call with
+        // the same (possibly repaired on disk) content retries.
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.images.find(key);
+        if (it != s.images.end() && it->second.id == id)
+            s.images.erase(it);
+        return R::error(outcome.status);
+    }
+    outcome.image =
+        std::make_shared<const bin::BinaryImage>(loaded.take());
+    promise.set_value(outcome);
+
+    const std::size_t entryBytes = approxImageBytes(*outcome.image);
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.images.find(key);
+        if (it != s.images.end() && it->second.id == id) {
+            it->second.bytes = entryBytes;
+            s.totalBytes += entryBytes;
+            evictLocked(s);
+        }
+        publishBytesLocked(s);
+    }
+    return R::ok(outcome.image);
+}
+
+std::shared_ptr<const std::vector<analysis::FunctionAnalysis>>
+functionAnalyses(const std::shared_ptr<const bin::BinaryImage> &image,
+                 const analysis::UcseConfig &config)
+{
+    // An active deadline makes results timing-dependent (partial
+    // exploration); never share or store those.
+    if (config.deadline.active() || !memoryUsable())
+        return fnsView(computeAnalyses(image, config));
+
+    const AnalysisKey key{image.get(), fingerprintOf(config)};
+    State &s = state();
+    std::promise<std::shared_ptr<const AnalyzedImage>> promise;
+    std::shared_future<std::shared_ptr<const AnalyzedImage>> future;
+    bool owner = false;
+    std::uint64_t id = 0;
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.analyses.find(key);
+        if (it != s.analyses.end()) {
+            it->second.tick = ++s.tick;
+            future = it->second.future;
+        } else {
+            owner = true;
+            id = ++s.nextId;
+            Slot<std::shared_ptr<const AnalyzedImage>> slot;
+            slot.future = promise.get_future().share();
+            slot.id = id;
+            slot.tick = ++s.tick;
+            future = slot.future;
+            s.analyses.emplace(key, std::move(slot));
+        }
+    }
+
+    if (!owner) {
+        const std::shared_ptr<const AnalyzedImage> &product =
+            future.get();
+        if (product == nullptr) {
+            // The computing thread failed; analyze independently so
+            // its exception surfaces in the right worker.
+            bumpMiss();
+            return fnsView(computeAnalyses(image, config));
+        }
+        bumpHit();
+        return fnsView(product);
+    }
+
+    bumpMiss();
+    std::shared_ptr<const AnalyzedImage> product;
+    try {
+        product = computeAnalyses(image, config);
+    } catch (...) {
+        promise.set_value(nullptr);
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.analyses.find(key);
+        if (it != s.analyses.end() && it->second.id == id)
+            s.analyses.erase(it);
+        throw;
+    }
+    promise.set_value(product);
+
+    const std::size_t entryBytes = approxAnalysesBytes(*product);
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto it = s.analyses.find(key);
+        if (it != s.analyses.end() && it->second.id == id) {
+            it->second.bytes = entryBytes;
+            s.totalBytes += entryBytes;
+            evictLocked(s);
+        }
+        publishBytesLocked(s);
+    }
+    return fnsView(product);
+}
+
+std::string
+blobPath(std::string_view kind, std::uint64_t key1,
+         std::uint64_t key2)
+{
+    State &s = state();
+    std::string dir;
+    {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        dir = s.options.dir;
+    }
+    if (dir.empty())
+        return {};
+    return dir + "/" + std::string(kind) +
+           support::format("-%016llx%016llx.fcb",
+                           static_cast<unsigned long long>(key1),
+                           static_cast<unsigned long long>(key2));
+}
+
+std::optional<std::string>
+fetchBlob(std::string_view kind, std::uint64_t key1,
+          std::uint64_t key2)
+{
+    const bool memTier = memoryUsable();
+    const bool diskTier = diskUsable();
+    if (!memTier && !diskTier)
+        return std::nullopt;
+
+    const std::string key = blobKeyOf(kind, key1, key2);
+    State &s = state();
+
+    if (memTier) {
+        std::shared_ptr<const std::string> payload;
+        {
+            const std::lock_guard<std::mutex> lock(s.mutex);
+            auto it = s.blobs.find(key);
+            if (it != s.blobs.end()) {
+                it->second.tick = ++s.tick;
+                payload = it->second.payload;
+            }
+        }
+        if (payload != nullptr) {
+            bumpHit();
+            return *payload;
+        }
+        bumpMiss();
+    }
+
+    if (!diskTier)
+        return std::nullopt;
+
+    // Injected read fault: the entry is unreadable; degrade to a miss.
+    if (chaos::shouldInject("cache.read")) {
+        bumpDiskCorrupt();
+        bumpDisk(false);
+        return std::nullopt;
+    }
+
+    const std::string path = blobPath(kind, key1, key2);
+    auto payload = readDiskEntry(path, key1, key2);
+    bumpDisk(payload.has_value());
+    if (!payload.has_value())
+        return std::nullopt;
+
+    if (memTier) {
+        // Promote so the next fetch in this process skips the disk.
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto &entry = s.blobs[key];
+        if (entry.payload == nullptr) {
+            entry.payload =
+                std::make_shared<const std::string>(*payload);
+            entry.bytes = key.size() + payload->size() + 64;
+            entry.tick = ++s.tick;
+            s.totalBytes += entry.bytes;
+            evictLocked(s);
+            publishBytesLocked(s);
+        } else {
+            entry.tick = ++s.tick;
+        }
+    }
+    return payload;
+}
+
+void
+storeBlob(std::string_view kind, std::uint64_t key1,
+          std::uint64_t key2, std::string_view payload)
+{
+    const bool memTier = memoryUsable();
+    const bool diskTier = diskUsable();
+    if (!memTier && !diskTier)
+        return;
+
+    const std::string key = blobKeyOf(kind, key1, key2);
+    State &s = state();
+
+    if (memTier) {
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        auto &entry = s.blobs[key];
+        if (entry.payload == nullptr) {
+            entry.payload =
+                std::make_shared<const std::string>(payload);
+            entry.bytes = key.size() + payload.size() + 64;
+            entry.tick = ++s.tick;
+            s.totalBytes += entry.bytes;
+            evictLocked(s);
+            publishBytesLocked(s);
+        } else {
+            // Keys are content-derived, so an existing entry already
+            // holds these bytes; just refresh recency.
+            entry.tick = ++s.tick;
+        }
+    }
+
+    if (diskTier) {
+        if (chaos::shouldInject("cache.write"))
+            return; // injected write fault: entry never lands
+        std::string dir;
+        {
+            const std::lock_guard<std::mutex> lock(s.mutex);
+            dir = s.options.dir;
+        }
+        writeDiskEntry(dir, blobPath(kind, key1, key2), key1, key2,
+                       payload);
+    }
+}
+
+} // namespace fits::cache

@@ -1,0 +1,150 @@
+#ifndef FITS_CACHE_CACHE_HH_
+#define FITS_CACHE_CACHE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/function_analysis.hh"
+#include "binary/image.hh"
+#include "support/result.hh"
+
+namespace fits::cache {
+
+/**
+ * Two-level analysis memoization, shared by every pipeline in the
+ * process:
+ *
+ *  - *Memory tier:* content-hash-keyed canonical binary images
+ *    (`loadImage`) and per-image function-analysis products
+ *    (`functionAnalyses`), plus a byte-keyed blob store for serialized
+ *    whole-sample products. A dependency library that appears in N
+ *    corpus images is lifted and UCSE-analyzed once; concurrent
+ *    CorpusRunner workers that miss on the same key compute it exactly
+ *    once (single-flight futures).
+ *  - *Disk tier:* an optional persistent blob store under a cache
+ *    directory (`FITS_CACHE_DIR` or `configure()`), with a versioned,
+ *    checksummed entry format. Any validation failure — bad magic,
+ *    version skew, length or checksum mismatch, a short read — quietly
+ *    degrades to a miss; repeated `fits corpus` invocations become
+ *    incremental.
+ *
+ * Correctness rules, enforced here and relied on by the determinism
+ * test suite:
+ *  - Results are bit-identical with and without the cache, and across
+ *    hits vs. misses: memory-tier products are shared immutable
+ *    objects, and the blob tier stores doubles by bit pattern.
+ *  - Caching is bypassed whenever fault injection is armed outside the
+ *    "cache." sites (`chaos::rulesConfinedTo`): a fault that fires
+ *    inside a cached computation must neither be masked by a hit nor
+ *    baked into a stored entry.
+ *  - Callers must additionally bypass when a wall-clock deadline is
+ *    active (partial results are not reusable); `functionAnalyses`
+ *    checks this itself.
+ *
+ * Eviction: the memory tier is LRU over approximate entry bytes with a
+ * configurable budget; the disk tier is never evicted here (entries
+ * are invalidated by version/fingerprint and can be deleted freely by
+ * the operator).
+ */
+
+struct Options
+{
+    /** In-process tiers (images, analyses, memory blobs). */
+    bool memory = true;
+    /** Persistent blob tier; requires a non-empty `dir`. */
+    bool disk = false;
+    /** Disk tier root directory (created on first store). */
+    std::string dir;
+    /** Approximate memory-tier budget in bytes (LRU beyond this). */
+    std::size_t maxBytes = 256ull << 20;
+};
+
+/** Replace the active options. Never clears cached entries — disable
+ * tiers to stop consulting them, `clearMemory()` to drop them. */
+void configure(const Options &options);
+
+Options options();
+
+/** Drop every in-process entry (tests; frees the memory budget). */
+void clearMemory();
+
+/** Monotonic counters since the last resetStats(). `bytes` is the
+ * current approximate memory-tier footprint (not monotonic). */
+struct Stats
+{
+    std::uint64_t hits = 0;       ///< memory-tier hits (all stores)
+    std::uint64_t misses = 0;     ///< memory-tier misses
+    std::uint64_t diskHits = 0;   ///< disk-tier hits
+    std::uint64_t diskMisses = 0; ///< disk-tier misses
+    std::uint64_t diskCorrupt = 0; ///< disk entries rejected as invalid
+    std::uint64_t evictions = 0;  ///< memory-tier LRU evictions
+    std::uint64_t bytes = 0;      ///< current memory-tier bytes
+};
+
+Stats stats();
+void resetStats();
+
+/** True when the memory tier may be consulted right now (enabled and
+ * fault injection, if armed, is confined to "cache." sites). */
+bool memoryUsable();
+
+/** Same gate for the disk tier (also requires a directory). */
+bool diskUsable();
+
+/**
+ * Load (lift) a binary through the cache: bytes are content-hashed and
+ * the parsed image is shared — every caller passing the same bytes
+ * gets the same immutable instance, so downstream pointer-keyed
+ * structures (LinkedProgram, FunctionAnalysis) line up across samples.
+ * On bypass, loads directly. Load failures are returned as-is and
+ * never cached.
+ */
+support::Result<std::shared_ptr<const bin::BinaryImage>>
+loadImage(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Per-image function analyses under `config`, keyed by (image
+ * identity, config fingerprint) — identity keying makes the cached
+ * `FunctionAnalysis::image`/`fn` pointers valid for the caller's
+ * LinkedProgram by construction. The returned vector is in
+ * `image->program` order (the LinkedProgram's per-image order) and
+ * owns a reference to the image. Computes directly (uncached) when the
+ * tier is bypassed or `config.deadline` is active.
+ */
+std::shared_ptr<const std::vector<analysis::FunctionAnalysis>>
+functionAnalyses(const std::shared_ptr<const bin::BinaryImage> &image,
+                 const analysis::UcseConfig &config);
+
+/** Fingerprint of the UCSE knobs that shape analysis results (the
+ * deadline is excluded — deadline-bearing runs bypass the cache). */
+std::uint64_t fingerprintOf(const analysis::UcseConfig &config);
+
+/**
+ * Fetch a serialized product from the blob store: memory tier first,
+ * then disk (a disk hit is promoted to memory). `kind` namespaces
+ * independent products ("behavior", ...); keys are caller-derived
+ * hashes (content hash + config fingerprint).
+ */
+std::optional<std::string> fetchBlob(std::string_view kind,
+                                     std::uint64_t key1,
+                                     std::uint64_t key2);
+
+/** Store a serialized product in every usable tier. Disk write
+ * failures (including injected "cache.write" faults) skip the entry
+ * silently — the cache is an accelerator, never a correctness
+ * dependency. */
+void storeBlob(std::string_view kind, std::uint64_t key1,
+               std::uint64_t key2, std::string_view payload);
+
+/** Disk path a blob entry would use (tests poke at entries to corrupt
+ * them); empty when no directory is configured. */
+std::string blobPath(std::string_view kind, std::uint64_t key1,
+                     std::uint64_t key2);
+
+} // namespace fits::cache
+
+#endif // FITS_CACHE_CACHE_HH_

@@ -1,0 +1,72 @@
+#ifndef FITS_CACHE_FINGERPRINT_HH_
+#define FITS_CACHE_FINGERPRINT_HH_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace fits::cache {
+
+/**
+ * Incremental FNV-1a 64-bit hasher for deriving cache keys from
+ * analysis configurations and serialized products. Field order is part
+ * of the key: mix fields in declaration order and bump the consumer's
+ * format version when that order (or a field's meaning) changes.
+ *
+ * Doubles are mixed by bit pattern, so two configs fingerprint equal
+ * iff their fields are bit-identical — exactly the granularity at
+ * which cached analysis results are reusable.
+ */
+class Fingerprint
+{
+  public:
+    Fingerprint &
+    mix(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i)
+            step(static_cast<std::uint8_t>(value >> (8 * i)));
+        return *this;
+    }
+
+    Fingerprint &
+    mix(double value)
+    {
+        return mix(std::bit_cast<std::uint64_t>(value));
+    }
+
+    Fingerprint &
+    mix(bool value)
+    {
+        step(value ? 1 : 0);
+        return *this;
+    }
+
+    Fingerprint &
+    mix(std::string_view text)
+    {
+        mix(static_cast<std::uint64_t>(text.size()));
+        for (unsigned char c : text)
+            step(c);
+        return *this;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return hash_;
+    }
+
+  private:
+    void
+    step(std::uint8_t byte)
+    {
+        hash_ ^= byte;
+        hash_ *= 0x100000001b3ULL;
+    }
+
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace fits::cache
+
+#endif // FITS_CACHE_FINGERPRINT_HH_

@@ -52,6 +52,11 @@ catalog()
         {"taint.karonte", Stage::Taint,
          "Karonte exploration aborts at an expired deadline "
          "(partial alerts)"},
+        {"cache.read", Stage::Io,
+         "a persistent cache entry fails to read (degrades to a "
+         "miss)"},
+        {"cache.write", Stage::Io,
+         "a persistent cache entry fails to write (entry skipped)"},
     };
     return sites;
 }
@@ -349,6 +354,28 @@ shouldInject(std::string_view site)
         return true;
     }
     return false;
+}
+
+bool
+rulesConfinedTo(std::string_view prefix)
+{
+    if (!enabled())
+        return true;
+    const Config *config = g_config.load(std::memory_order_acquire);
+    if (config == nullptr)
+        return true;
+    for (const auto &rule : config->rules) {
+        std::string_view pattern = rule.pattern;
+        if (pattern == "*")
+            return false;
+        if (!pattern.empty() && pattern.back() == '*')
+            pattern.remove_suffix(1);
+        if (pattern.size() < prefix.size() ||
+            pattern.substr(0, prefix.size()) != prefix) {
+            return false;
+        }
+    }
+    return true;
 }
 
 std::uint64_t

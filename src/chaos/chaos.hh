@@ -82,6 +82,17 @@ void reset();
  */
 bool shouldInject(std::string_view site);
 
+/**
+ * True when every armed rule's site pattern falls under `prefix`
+ * (vacuously true when injection is disarmed). The analysis cache uses
+ * this to decide whether memoization is safe: faults confined to
+ * "cache." sites exercise the cache's own degradation paths, while any
+ * rule that can fire *inside* a cached computation (UCSE, reach-defs,
+ * lift, ...) forces a full bypass so injected faults are never masked
+ * by — or baked into — a cached result.
+ */
+bool rulesConfinedTo(std::string_view prefix);
+
 /** Times `site` was reached since the last configure/reset. */
 std::uint64_t hitCount(std::string_view site);
 

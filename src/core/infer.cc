@@ -118,9 +118,18 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
     std::vector<std::size_t> candidates;
 
     // Scoring may happen in a transformed space for the §4.5
-    // preprocessing baselines.
-    ml::Matrix scoreCustom = customVecs;
-    ml::Matrix scoreAnchor = anchorVecs;
+    // preprocessing baselines. Non-transforming strategies score the
+    // raw feature matrices in place — the transformed matrices are
+    // materialized (and owned) only by the branches that need them,
+    // instead of copying both full matrices up front.
+    ml::Matrix transformedCustom;
+    ml::Matrix transformedAnchor;
+    const ml::Matrix *scoreCustom = &customVecs;
+    const ml::Matrix *scoreAnchor = &anchorVecs;
+    const auto scoreTransformed = [&] {
+        scoreCustom = &transformedCustom;
+        scoreAnchor = &transformedAnchor;
+    };
 
     switch (config.strategy) {
       case CandidateStrategy::BehaviorClustering: {
@@ -145,17 +154,17 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
             }
             return out;
         };
-        const ml::Matrix scaled = scaleBy(customVecs);
-        scoreCustom = scaled;
-        scoreAnchor = scaleBy(anchorVecs);
+        transformedCustom = scaleBy(customVecs);
+        transformedAnchor = scaleBy(anchorVecs);
+        scoreTransformed();
+        const obs::ScopedTimer kernelTimer("kernel.cluster");
         const ml::DbscanResult clusters =
-            ml::dbscan(scaled, config.dbscan);
+            ml::dbscan(transformedCustom, config.dbscan);
         result.numClusters =
             static_cast<std::size_t>(clusters.numClusters);
 
-        std::vector<std::vector<std::size_t>> classes;
-        for (int c = 0; c < clusters.numClusters; ++c)
-            classes.push_back(clusters.members(c));
+        std::vector<std::vector<std::size_t>> classes =
+            clusters.allMembers();
         if (config.noiseAsSingletons) {
             for (std::size_t i = 0; i < clusters.labels.size(); ++i) {
                 if (clusters.labels[i] == -1)
@@ -200,8 +209,9 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
         all.insert(all.end(), anchorVecs.begin(), anchorVecs.end());
         const ml::PcaModel pca =
             ml::fitPca(all, config.pcaComponents);
-        scoreCustom = pca.transformAll(customVecs);
-        scoreAnchor = pca.transformAll(anchorVecs);
+        transformedCustom = pca.transformAll(customVecs);
+        transformedAnchor = pca.transformAll(anchorVecs);
+        scoreTransformed();
         for (std::size_t i = 0; i < repr.customFns.size(); ++i)
             candidates.push_back(i);
         break;
@@ -214,14 +224,15 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
             config.strategy == CandidateStrategy::Standardize
                 ? ml::standardize(all)
                 : ml::minMaxScale(all);
-        scoreCustom.assign(scaledAll.begin(),
-                           scaledAll.begin() +
-                               static_cast<std::ptrdiff_t>(
-                                   customVecs.size()));
-        scoreAnchor.assign(scaledAll.begin() +
-                               static_cast<std::ptrdiff_t>(
-                                   customVecs.size()),
-                           scaledAll.end());
+        transformedCustom.assign(scaledAll.begin(),
+                                 scaledAll.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         customVecs.size()));
+        transformedAnchor.assign(scaledAll.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         customVecs.size()),
+                                 scaledAll.end());
+        scoreTransformed();
         for (std::size_t i = 0; i < repr.customFns.size(); ++i)
             candidates.push_back(i);
         break;
@@ -233,19 +244,47 @@ inferIts(const BehaviorRepr &repr, const InferConfig &config)
 
     // ---- Scoring (Eq. 2): mean similarity to the anchor matrix -----
     obs::ScopedTimer rankTimer("rank");
+    const obs::ScopedTimer kernelRankTimer("kernel.rank");
+    const ml::Matrix &custom = *scoreCustom;
+    const ml::Matrix &anchors = *scoreAnchor;
+
+    // Cosine fast path: norm() is a pure function of one row, so the
+    // anchor norms can be hoisted out of the candidate loop and the
+    // candidate norm out of the anchor loop. The quotient below uses
+    // the exact expression (and zero checks) of cosineSimilarity(),
+    // making each addend — and hence every score — bit-identical to
+    // the generic path.
+    std::vector<double> anchorNorms;
+    if (config.scoreMetric == ml::Metric::Cosine) {
+        anchorNorms.reserve(anchors.size());
+        for (const auto &anchorRow : anchors)
+            anchorNorms.push_back(ml::norm(anchorRow));
+    }
+
     std::vector<RankedFunction> ranked;
     ranked.reserve(candidates.size());
     for (std::size_t member : candidates) {
         const FnId id = repr.customFns[member];
         double sum = 0.0;
-        for (const auto &anchorRow : scoreAnchor)
-            sum += ml::similarity(config.scoreMetric,
-                                  scoreCustom[member], anchorRow);
+        if (config.scoreMetric == ml::Metric::Cosine) {
+            const ml::Vec &row = custom[member];
+            const double rowNorm = ml::norm(row);
+            for (std::size_t a = 0; a < anchors.size(); ++a) {
+                if (rowNorm == 0.0 || anchorNorms[a] == 0.0)
+                    continue; // cosineSimilarity's zero-norm addend
+                sum += ml::dot(row, anchors[a]) /
+                       (rowNorm * anchorNorms[a]);
+            }
+        } else {
+            for (const auto &anchorRow : anchors)
+                sum += ml::similarity(config.scoreMetric,
+                                      custom[member], anchorRow);
+        }
         RankedFunction rf;
         rf.id = id;
         rf.entry = repr.records[id].entry;
         rf.name = repr.records[id].name;
-        rf.score = sum / static_cast<double>(scoreAnchor.size());
+        rf.score = sum / static_cast<double>(anchors.size());
         if (config.useSymbolNames && !rf.name.empty()) {
             // Vendor mode: blend the symbol-name prior (0.5-neutral).
             rf.score += config.symbolWeight *

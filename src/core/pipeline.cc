@@ -1,8 +1,11 @@
 #include "pipeline.hh"
 
+#include "cache/cache.hh"
 #include "chaos/chaos.hh"
+#include "core/behavior_io.hh"
 #include "obs/metrics.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 
 namespace fits::core {
 
@@ -97,6 +100,41 @@ FitsPipeline::analyze(const std::vector<std::uint8_t> &firmware) const
     obs::ScopedTimer pipelineSpan("pipeline");
     PipelineArtifact artifact;
 
+    // Behavior-cache fast path: the whole-sample behavior product is
+    // keyed by (firmware content hash, behavior-config fingerprint).
+    // An active stage budget disqualifies the sample — budget-bound
+    // results are timing-dependent and must be neither served nor
+    // stored. A hit replays stage 3 on the decoded representation; any
+    // decode defect silently falls through to the full pipeline.
+    const bool cacheable = config_.behaviorCache &&
+                           config_.budgets.behaviorMs <= 0.0 &&
+                           !config_.behavior.ucse.deadline.active() &&
+                           (cache::memoryUsable() ||
+                            cache::diskUsable());
+    std::uint64_t cacheKey1 = 0;
+    std::uint64_t cacheKey2 = 0;
+    if (cacheable) {
+        cacheKey1 = support::fnv1a(firmware.data(), firmware.size());
+        cacheKey2 = behaviorConfigFingerprint(config_.behavior);
+        const auto payload =
+            cache::fetchBlob("behavior", cacheKey1, cacheKey2);
+        if (payload.has_value()) {
+            auto bundle = decodeBehaviorBundle(*payload);
+            if (bundle.has_value()) {
+                artifact.imageInfo = bundle->imageInfo;
+                artifact.binaryName = std::move(bundle->binaryName);
+                artifact.numFunctions =
+                    static_cast<std::size_t>(bundle->numFunctions);
+                artifact.binaryBytes =
+                    static_cast<std::size_t>(bundle->binaryBytes);
+                artifact.behavior = std::move(bundle->behavior);
+                runInferenceStage(artifact);
+                recordRunCounters(artifact);
+                return artifact;
+            }
+        }
+    }
+
     // Stage 1a: unpack.
     obs::ScopedTimer unpackTimer("unpack");
     auto unpacked = fw::unpackFirmware(firmware);
@@ -127,6 +165,21 @@ FitsPipeline::analyze(const std::vector<std::uint8_t> &firmware) const
     rest.imageInfo = unpacked.value().info;
     rest.timings.unpackMs = artifact.timings.unpackMs;
     rest.timings.selectMs = selectMs;
+
+    // Store the behavior product for the next run over these bytes.
+    // Degraded samples are excluded: their representation reflects
+    // missing libraries or expired budgets, not the firmware.
+    if (cacheable && rest.hasAnalysis() && !rest.degraded) {
+        BehaviorBundle bundle;
+        bundle.imageInfo = rest.imageInfo;
+        bundle.binaryName = rest.binaryName;
+        bundle.numFunctions = rest.numFunctions;
+        bundle.binaryBytes = rest.binaryBytes;
+        bundle.behavior = rest.behavior;
+        cache::storeBlob("behavior", cacheKey1, cacheKey2,
+                         encodeBehaviorBundle(bundle));
+    }
+
     recordRunCounters(rest);
     return rest;
 }
@@ -147,9 +200,9 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
     PipelineArtifact artifact;
     artifact.target =
         std::make_unique<fw::AnalysisTarget>(std::move(target));
-    artifact.binaryName = artifact.target->main.name;
-    artifact.numFunctions = artifact.target->main.program.size();
-    artifact.binaryBytes = artifact.target->main.byteSize();
+    artifact.binaryName = artifact.target->main->name;
+    artifact.numFunctions = artifact.target->main->program.size();
+    artifact.binaryBytes = artifact.target->main->byteSize();
 
     // A library that failed to lift degrades the run: analysis
     // proceeds against what did load, with the gaps on record.
@@ -168,7 +221,7 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
     {
         obs::ScopedTimer liftTimer("lift");
         artifact.linked = std::make_unique<analysis::LinkedProgram>(
-            artifact.target->main, artifact.target->libraries);
+            *artifact.target->main, artifact.target->libraries);
         artifact.timings.liftMs = liftTimer.stopMs();
     }
     {
@@ -180,10 +233,29 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
             ucseConfig.deadline =
                 support::Deadline::afterMs(config_.budgets.behaviorMs);
         }
+
+        // Per-image analysis products come from the process-wide
+        // cache keyed by image identity + config, so a library shared
+        // by many samples is UCSE-analyzed once. Concatenating the
+        // per-image vectors in [main, libs...] order reproduces the
+        // LinkedProgram's FnId order exactly; the cache computes
+        // directly (bit-identically) whenever it is bypassed — e.g.
+        // under an active deadline or non-cache fault injection.
+        std::vector<analysis::FunctionAnalysis> fns;
+        fns.reserve(artifact.linked->fnCount());
+        const auto appendImage =
+            [&](const std::shared_ptr<const bin::BinaryImage> &image) {
+                const auto cached =
+                    cache::functionAnalyses(image, ucseConfig);
+                fns.insert(fns.end(), cached->begin(), cached->end());
+            };
+        appendImage(artifact.target->main);
+        for (const auto &lib : artifact.target->libraries)
+            appendImage(lib);
         artifact.analysis =
             std::make_unique<analysis::ProgramAnalysis>(
-                analysis::ProgramAnalysis::analyze(
-                    *artifact.linked, ucseConfig));
+                analysis::ProgramAnalysis::fromFunctionAnalyses(
+                    *artifact.linked, std::move(fns)));
         artifact.timings.ucseMs = ucseTimer.stopMs();
 
         std::size_t expired = 0;
@@ -211,6 +283,13 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
                                   artifact.timings.bfvMs;
 
     // Stage 3: inference (Algorithm 2).
+    runInferenceStage(artifact);
+    return artifact;
+}
+
+void
+FitsPipeline::runInferenceStage(PipelineArtifact &artifact) const
+{
     obs::ScopedTimer inferTimer("infer");
     if (chaos::shouldInject("infer.rank")) {
         artifact.timings.inferMs = inferTimer.stopMs();
@@ -218,7 +297,7 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
             PipelineResult::FailureStage::Inference;
         artifact.status = chaos::injectedStatus("infer.rank");
         artifact.error = artifact.status.message();
-        return artifact;
+        return;
     }
     artifact.inference = inferIts(artifact.behavior, config_.infer);
     artifact.timings.inferMs = inferTimer.stopMs();
@@ -232,7 +311,7 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
         artifact.status = support::Status::error(
             support::Stage::Infer, support::ErrorCode::NotFound,
             artifact.inference.error);
-        return artifact;
+        return;
     }
 
     support::logInfo(
@@ -242,7 +321,6 @@ FitsPipeline::analyzeTargetStages(fw::AnalysisTarget target) const
             " ITS candidates");
 
     artifact.ok = true;
-    return artifact;
 }
 
 } // namespace fits::core

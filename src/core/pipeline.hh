@@ -36,6 +36,17 @@ struct PipelineConfig
     BehaviorAnalyzer::Config behavior;
     InferConfig infer;
     StageBudgets budgets;
+
+    /**
+     * Consult the analysis cache's blob tier for whole-sample behavior
+     * representations (keyed by firmware content hash + behavior-config
+     * fingerprint): a warm hit skips unpack through BFV extraction and
+     * goes straight to inference. Off by default because a cached
+     * artifact carries no analysis chain — callers that need taint
+     * analysis (or the artifact's linked/analysis members) must leave
+     * this off. Rankings are bit-identical either way.
+     */
+    bool behaviorCache = false;
 };
 
 /**
@@ -183,6 +194,10 @@ class FitsPipeline
     /** Stage 2+3 without the whole-run span (callers own that). */
     PipelineArtifact analyzeTargetStages(fw::AnalysisTarget target)
         const;
+
+    /** Stage 3 on an artifact whose `behavior` is populated; shared by
+     * the full path and the behavior-cache hit path. */
+    void runInferenceStage(PipelineArtifact &artifact) const;
 
     PipelineConfig config_;
 };

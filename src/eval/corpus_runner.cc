@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cache/cache.hh"
+
 namespace fits::eval {
 
 namespace {
@@ -22,6 +24,12 @@ CorpusRunner::CorpusRunner(Config config)
     : config_(std::move(config)),
       jobs_(support::resolveJobs(config_.jobs))
 {
+    if (!config_.cacheDir.empty()) {
+        cache::Options options = cache::options();
+        options.disk = true;
+        options.dir = config_.cacheDir;
+        cache::configure(options);
+    }
 }
 
 core::PipelineConfig
@@ -35,6 +43,26 @@ CorpusRunner::degradedPipelineConfig() const
         config.behavior.ucse.maxSteps, 10000);
     config.behavior.ucse.maxVisitsPerBlock = std::min<std::size_t>(
         config.behavior.ucse.maxVisitsPerBlock, 2);
+    // Retries never touch the behavior cache: a sample that just
+    // failed transiently should be recomputed from scratch, not
+    // have its recovery product stored for future runs.
+    config.behaviorCache = false;
+    return config;
+}
+
+core::PipelineConfig
+CorpusRunner::inferencePipelineConfig() const
+{
+    core::PipelineConfig config = config_.pipeline;
+    config.behaviorCache = config_.cache;
+    return config;
+}
+
+core::PipelineConfig
+CorpusRunner::taintPipelineConfig() const
+{
+    core::PipelineConfig config = config_.pipeline;
+    config.behaviorCache = false;
     return config;
 }
 
@@ -42,11 +70,11 @@ std::vector<InferenceOutcome>
 CorpusRunner::runInference(
     const std::vector<synth::GeneratedFirmware> &corpus) const
 {
+    const core::PipelineConfig pipeline = inferencePipelineConfig();
     return map<InferenceOutcome>(
         corpus.size(),
         [&](std::size_t i) {
-            auto outcome =
-                eval::runInference(corpus[i], config_.pipeline);
+            auto outcome = eval::runInference(corpus[i], pipeline);
             if (retryable(outcome)) {
                 obs::addCounter("corpus.retries");
                 outcome = eval::runInference(
@@ -69,11 +97,12 @@ std::vector<InferenceOutcome>
 CorpusRunner::runInferenceOnSpecs(
     const std::vector<synth::SampleSpec> &specs) const
 {
+    const core::PipelineConfig pipeline = inferencePipelineConfig();
     return map<InferenceOutcome>(
         specs.size(),
         [&](std::size_t i) {
             const auto fw = synth::generateFirmware(specs[i]);
-            auto outcome = eval::runInference(fw, config_.pipeline);
+            auto outcome = eval::runInference(fw, pipeline);
             if (retryable(outcome)) {
                 obs::addCounter("corpus.retries");
                 outcome =
@@ -95,10 +124,11 @@ std::vector<TaintOutcome>
 CorpusRunner::runTaint(
     const std::vector<synth::GeneratedFirmware> &corpus) const
 {
+    const core::PipelineConfig pipeline = taintPipelineConfig();
     return map<TaintOutcome>(
         corpus.size(),
         [&](std::size_t i) {
-            auto outcome = eval::runTaint(corpus[i], config_.pipeline);
+            auto outcome = eval::runTaint(corpus[i], pipeline);
             if (!outcome.ok && !outcome.status.isOk() &&
                 outcome.status.isTransient()) {
                 obs::addCounter("corpus.retries");
@@ -137,7 +167,7 @@ CorpusRunner::runFull(
                         config.budgets.taintMs);
                     return full;
                 };
-            FullOutcome full = analyzeWith(config_.pipeline);
+            FullOutcome full = analyzeWith(taintPipelineConfig());
             if (retryable(full.inference)) {
                 obs::addCounter("corpus.retries");
                 full = analyzeWith(degradedPipelineConfig());

@@ -39,6 +39,14 @@ class CorpusRunner
         std::size_t jobs = 0;
         /** Pipeline configuration applied to every sample. */
         core::PipelineConfig pipeline;
+        /** Reuse cached behavior products for inference runs. Taint
+         * runs always re-analyze — they need the live analysis chain.
+         * Results are bit-identical either way; only time changes. */
+        bool cache = true;
+        /** Non-empty: persist cached products here (the on-disk tier),
+         * making repeated invocations over the same corpus
+         * incremental. Defaults to the FITS_CACHE_DIR env var. */
+        std::string cacheDir;
     };
 
     CorpusRunner()
@@ -128,6 +136,15 @@ class CorpusRunner
     /** Reduced-budget pipeline config used for the one retry a
      * transiently-failed sample gets. */
     core::PipelineConfig degradedPipelineConfig() const;
+
+    /** Pipeline config for inference-only runs: behavior caching on
+     * when Config::cache allows it. */
+    core::PipelineConfig inferencePipelineConfig() const;
+
+    /** Pipeline config for runs that feed taint engines: behavior
+     * caching forced off, since a cache hit carries no analysis
+     * chain for the taint stage to reuse. */
+    core::PipelineConfig taintPipelineConfig() const;
 
     Config config_;
     std::size_t jobs_ = 1;

@@ -1,6 +1,6 @@
 #include "select.hh"
 
-#include "binary/fbin.hh"
+#include "cache/cache.hh"
 #include "chaos/chaos.hh"
 #include "support/logging.hh"
 #include "support/status.hh"
@@ -53,18 +53,18 @@ selectAnalysisTarget(const Filesystem &filesystem)
 
     bool anyParsed = false;
     int bestScore = 0;
-    bin::BinaryImage best;
+    std::shared_ptr<const bin::BinaryImage> best;
 
     for (const FileEntry *entry :
          filesystem.filesOfType(FileType::Executable)) {
-        auto loaded = bin::loadBinary(entry->bytes);
+        auto loaded = cache::loadImage(entry->bytes);
         if (!loaded) {
             support::logWarn("select", entry->path + ": " +
                                            loaded.errorMessage());
             continue;
         }
         anyParsed = true;
-        const int score = networkScore(loaded.value());
+        const int score = networkScore(*loaded.value());
         if (score > bestScore) {
             bestScore = score;
             best = loaded.take();
@@ -85,7 +85,7 @@ selectAnalysisTarget(const Filesystem &filesystem)
     AnalysisTarget target;
     target.main = std::move(best);
 
-    for (const auto &dep : target.main.neededLibraries) {
+    for (const auto &dep : target.main->neededLibraries) {
         // A library that fails to lift is a *degradation*, not a
         // failure: analysis proceeds against the main binary (and any
         // libraries that did load) and the target records what is
@@ -99,7 +99,7 @@ selectAnalysisTarget(const Filesystem &filesystem)
             target.missingLibraries.push_back(dep);
             continue;
         }
-        auto lib = bin::loadBinary(libEntry->bytes);
+        auto lib = cache::loadImage(libEntry->bytes);
         if (!lib) {
             target.missingLibraries.push_back(dep);
             support::logWarn("select",

@@ -1,6 +1,7 @@
 #ifndef FITS_FIRMWARE_SELECT_HH_
 #define FITS_FIRMWARE_SELECT_HH_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,12 +13,16 @@ namespace fits::fw {
 
 /**
  * The unit FITS analyzes: the network-facing binary plus its resolved
- * dependency libraries (found via the DT_NEEDED-style list).
+ * dependency libraries (found via the DT_NEEDED-style list). Images are
+ * shared immutable instances owned by the analysis cache: the same
+ * library bytes appearing in many firmware samples select the same
+ * in-memory image, which is what lets per-image analysis products be
+ * reused across samples.
  */
 struct AnalysisTarget
 {
-    bin::BinaryImage main;
-    std::vector<bin::BinaryImage> libraries;
+    std::shared_ptr<const bin::BinaryImage> main;
+    std::vector<std::shared_ptr<const bin::BinaryImage>> libraries;
     /** Dependencies that could not be found in the file system. */
     std::vector<std::string> missingLibraries;
 };

@@ -1,5 +1,6 @@
 #include "dbscan.hh"
 
+#include <cmath>
 #include <deque>
 
 namespace fits::ml {
@@ -11,6 +12,20 @@ DbscanResult::members(int cluster) const
     for (std::size_t i = 0; i < labels.size(); ++i) {
         if (labels[i] == cluster)
             out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::vector<std::size_t>>
+DbscanResult::allMembers() const
+{
+    // One pass over the labels instead of one members() scan per
+    // cluster (O(n) vs O(n * k)).
+    std::vector<std::vector<std::size_t>> out(
+        static_cast<std::size_t>(numClusters));
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] >= 0)
+            out[static_cast<std::size_t>(labels[i])].push_back(i);
     }
     return out;
 }
@@ -28,17 +43,144 @@ DbscanResult::noiseCount() const
 
 namespace {
 
-std::vector<std::size_t>
-regionQuery(const Matrix &points, std::size_t p,
-            const DbscanConfig &config)
+/**
+ * Pairwise-distance scanner over a flattened copy of the points.
+ *
+ * DBSCAN's cost is regionQuery: n scans of all n points. The generic
+ * path pays a `distance()` dispatch, two `Vec` indirections, and (for
+ * cosine/Pearson) redundant per-row norm/mean recomputation on every
+ * pair. This scanner flattens the matrix into one contiguous buffer,
+ * hoists the metric dispatch out of the scan, and precomputes the
+ * per-row invariants (norms for cosine, means for Pearson) once.
+ *
+ * Every per-pair formula below keeps the exact operation order of
+ * distance.cc — same accumulation sequence, same zero checks, same
+ * final sqrt/divide — and the precomputed invariants are obtained by
+ * calling the very same norm()/mean computation those formulas use, so
+ * clustering output is bit-identical to the generic path.
+ */
+class DistanceScanner
 {
-    std::vector<std::size_t> neighbors;
-    for (std::size_t q = 0; q < points.size(); ++q) {
-        if (distance(config.metric, points[p], points[q]) <= config.eps)
-            neighbors.push_back(q);
+  public:
+    DistanceScanner(const Matrix &points, const DbscanConfig &config)
+        : points_(points), config_(config), n_(points.size())
+    {
+        dim_ = n_ > 0 ? points[0].size() : 0;
+        flat_ = true;
+        for (const Vec &row : points) {
+            if (row.size() != dim_) {
+                flat_ = false; // ragged input: generic path only
+                break;
+            }
+        }
+        if (flat_) {
+            buffer_.reserve(n_ * dim_);
+            for (const Vec &row : points)
+                buffer_.insert(buffer_.end(), row.begin(), row.end());
+            if (config.metric == Metric::Cosine) {
+                norms_.reserve(n_);
+                for (const Vec &row : points)
+                    norms_.push_back(norm(row));
+            } else if (config.metric == Metric::Pearson) {
+                means_.reserve(n_);
+                for (const Vec &row : points) {
+                    double mean = 0.0;
+                    for (double v : row)
+                        mean += v;
+                    means_.push_back(
+                        dim_ > 0 ? mean / static_cast<double>(dim_)
+                                 : 0.0);
+                }
+            }
+        }
     }
-    return neighbors;
-}
+
+    /** All points within eps of `p` (including p), into `out`. The
+     * buffer is caller-owned so one allocation serves every query. */
+    void
+    neighbors(std::size_t p, std::vector<std::size_t> &out) const
+    {
+        out.clear();
+        if (!flat_) {
+            for (std::size_t q = 0; q < n_; ++q) {
+                if (distance(config_.metric, points_[p], points_[q]) <=
+                    config_.eps)
+                    out.push_back(q);
+            }
+            return;
+        }
+        switch (config_.metric) {
+          case Metric::Euclidean: scan<Metric::Euclidean>(p, out); break;
+          case Metric::Manhattan: scan<Metric::Manhattan>(p, out); break;
+          case Metric::Cosine:    scan<Metric::Cosine>(p, out); break;
+          case Metric::Pearson:   scan<Metric::Pearson>(p, out); break;
+        }
+    }
+
+  private:
+    template <Metric M>
+    void
+    scan(std::size_t p, std::vector<std::size_t> &out) const
+    {
+        const double *a = buffer_.data() + p * dim_;
+        const double *b = buffer_.data();
+        for (std::size_t q = 0; q < n_; ++q, b += dim_) {
+            double d = 0.0;
+            if constexpr (M == Metric::Euclidean) {
+                double s = 0.0;
+                for (std::size_t i = 0; i < dim_; ++i) {
+                    const double diff = a[i] - b[i];
+                    s += diff * diff;
+                }
+                d = std::sqrt(s);
+            } else if constexpr (M == Metric::Manhattan) {
+                double s = 0.0;
+                for (std::size_t i = 0; i < dim_; ++i)
+                    s += std::fabs(a[i] - b[i]);
+                d = s;
+            } else if constexpr (M == Metric::Cosine) {
+                const double na = norms_[p];
+                const double nb = norms_[q];
+                double sim = 0.0;
+                if (na != 0.0 && nb != 0.0) {
+                    double s = 0.0;
+                    for (std::size_t i = 0; i < dim_; ++i)
+                        s += a[i] * b[i];
+                    sim = s / (na * nb);
+                }
+                d = 1.0 - sim;
+            } else { // Pearson
+                double corr = 0.0;
+                if (dim_ > 0) {
+                    const double meanA = means_[p];
+                    const double meanB = means_[q];
+                    double cov = 0.0, varA = 0.0, varB = 0.0;
+                    for (std::size_t i = 0; i < dim_; ++i) {
+                        const double da = a[i] - meanA;
+                        const double db = b[i] - meanB;
+                        cov += da * db;
+                        varA += da * da;
+                        varB += db * db;
+                    }
+                    if (varA != 0.0 && varB != 0.0)
+                        corr = cov / std::sqrt(varA * varB);
+                }
+                d = 1.0 - corr;
+            }
+            if (d <= config_.eps)
+                out.push_back(q);
+        }
+    }
+
+    const Matrix &points_;
+    const DbscanConfig &config_;
+    std::size_t n_;
+    std::size_t dim_ = 0;
+    bool flat_ = false;
+    std::vector<double> buffer_; ///< row-major n_ x dim_
+    std::vector<double> norms_;  ///< per-row L2 norms (cosine)
+    std::vector<double> means_;  ///< per-row means (Pearson)
+};
 
 } // namespace
 
@@ -51,12 +193,16 @@ dbscan(const Matrix &points, const DbscanConfig &config)
     DbscanResult result;
     result.labels.assign(points.size(), kUnvisited);
 
+    const DistanceScanner scanner(points, config);
+    std::vector<std::size_t> neighbors;
+    std::vector<std::size_t> qNeighbors;
+
     int cluster = 0;
     for (std::size_t p = 0; p < points.size(); ++p) {
         if (result.labels[p] != kUnvisited)
             continue;
 
-        auto neighbors = regionQuery(points, p, config);
+        scanner.neighbors(p, neighbors);
         if (neighbors.size() < config.minPts) {
             result.labels[p] = kNoise;
             continue;
@@ -73,7 +219,7 @@ dbscan(const Matrix &points, const DbscanConfig &config)
             if (result.labels[q] != kUnvisited)
                 continue;
             result.labels[q] = cluster;
-            auto qNeighbors = regionQuery(points, q, config);
+            scanner.neighbors(q, qNeighbors);
             if (qNeighbors.size() >= config.minPts) {
                 // Only unvisited and noise points can still change
                 // label; re-enqueueing cluster-assigned neighbors is a

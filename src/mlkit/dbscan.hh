@@ -25,6 +25,10 @@ struct DbscanResult
     /** Row indices of one cluster. */
     std::vector<std::size_t> members(int cluster) const;
 
+    /** Member lists of all clusters (indexed by label) in one pass;
+     * prefer this over calling members() per cluster. */
+    std::vector<std::vector<std::size_t>> allMembers() const;
+
     std::size_t noiseCount() const;
 };
 

@@ -95,4 +95,11 @@ fnv1a(std::string_view bytes)
     return h;
 }
 
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    return fnv1a(std::string_view(
+        reinterpret_cast<const char *>(data), size));
+}
+
 } // namespace fits::support

@@ -34,6 +34,9 @@ std::string format(const char *fmt, ...)
 /** FNV-1a 64-bit hash of a byte string; stable across platforms. */
 std::uint64_t fnv1a(std::string_view bytes);
 
+/** FNV-1a 64-bit hash of a raw byte buffer (same stream as above). */
+std::uint64_t fnv1a(const std::uint8_t *data, std::size_t size);
+
 } // namespace fits::support
 
 #endif // FITS_SUPPORT_STRINGS_HH_

@@ -41,6 +41,27 @@ grep -q "2 worker threads" "$DIR/corpus.out"
 grep -q "Overall" "$DIR/corpus.out"
 grep -q "wall clock" "$DIR/corpus.out"
 grep -q "failed samples:" "$DIR/corpus.out"
+grep -q "^cache: .* tier=mem$" "$DIR/corpus.out"
+
+# --no-cache turns every tier off; a persistent tier via FITS_CACHE_DIR
+# makes the second invocation warm. Result tables are identical in all
+# three configurations.
+FITS_JOBS=2 "$FITS" corpus --no-cache > "$DIR/corpus_nocache.out"
+grep -q "tier=off" "$DIR/corpus_nocache.out"
+FITS_JOBS=2 FITS_CACHE_DIR="$DIR/cache" "$FITS" corpus \
+    > "$DIR/corpus_cold.out"
+grep -q "tier=mem+disk" "$DIR/corpus_cold.out"
+ls "$DIR/cache"/*.fcb > /dev/null
+FITS_JOBS=2 FITS_CACHE_DIR="$DIR/cache" "$FITS" corpus \
+    > "$DIR/corpus_warm.out"
+grep -v "wall clock\|^cache:" "$DIR/corpus.out" > "$DIR/corpus.ref"
+for out in corpus_nocache corpus_cold corpus_warm; do
+    grep -v "wall clock\|^cache:" "$DIR/$out.out" > "$DIR/$out.cmp"
+    cmp "$DIR/corpus.ref" "$DIR/$out.cmp" || {
+        echo "corpus output differs under cache config $out" >&2
+        exit 1
+    }
+done
 
 # --dir evaluates on-disk images; --metrics-out writes a JSON snapshot
 # with the instrumented pipeline stages and taint counters.

@@ -1,0 +1,481 @@
+/** @file Determinism and degradation tests for the fits::cache
+ * analysis-memoization subsystem: behavior-bundle serialization
+ * round-trips bit-for-bit, rankings are identical with/without the
+ * cache and across cold/warm runs on both tiers, serial and parallel
+ * corpus runs agree, corrupt or stale disk entries degrade to misses,
+ * injected cache faults degrade gracefully, and the memory tier stays
+ * within its LRU budget. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "chaos/chaos.hh"
+#include "core/behavior_io.hh"
+#include "core/pipeline.hh"
+#include "eval/corpus_runner.hh"
+#include "eval/harness.hh"
+#include "firmware/fwimg.hh"
+#include "synth/firmware_gen.hh"
+
+namespace fits {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Every test starts from a cold cache with default options and a
+ * private disk directory, and restores that state on the way out so
+ * no cache contents leak between tests in this process. */
+class CacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        chaos::reset();
+        cache::configure(cache::Options{});
+        cache::clearMemory();
+        cache::resetStats();
+        dir_ = (fs::temp_directory_path() /
+                ("fits_cache_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        chaos::reset();
+        cache::configure(cache::Options{});
+        cache::clearMemory();
+        cache::resetStats();
+        fs::remove_all(dir_);
+    }
+
+    /** Enable the disk tier rooted at this test's private directory. */
+    void
+    enableDisk()
+    {
+        cache::Options options = cache::options();
+        options.disk = true;
+        options.dir = dir_;
+        cache::configure(options);
+    }
+
+    std::string dir_;
+};
+
+/** A small deterministic corpus with shared per-vendor libraries, so
+ * cross-sample image/analysis reuse actually occurs. */
+std::vector<synth::GeneratedFirmware>
+smallCorpus(std::size_t n)
+{
+    std::vector<synth::GeneratedFirmware> corpus;
+    for (std::size_t i = 0; i < n; ++i) {
+        synth::SampleSpec spec;
+        spec.profile = synth::tendaProfile();
+        spec.profile.minCustomFns = 40;
+        spec.profile.maxCustomFns = 60;
+        spec.product = "AC" + std::to_string(6 + i);
+        spec.version = "V1";
+        spec.name = "cache-sample-" + std::to_string(i);
+        spec.seed = 0xcac4e + i;
+        corpus.push_back(synth::generateFirmware(spec));
+    }
+    return corpus;
+}
+
+/** Exact bit-level score comparison: == would also pass for -0.0 vs
+ * +0.0, which the bit-identity guarantee forbids. */
+std::uint64_t
+scoreBits(double score)
+{
+    return std::bit_cast<std::uint64_t>(score);
+}
+
+void
+expectIdenticalOutcomes(const std::vector<eval::InferenceOutcome> &a,
+                        const std::vector<eval::InferenceOutcome> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].ok, b[i].ok) << "sample " << i;
+        EXPECT_EQ(a[i].firstItsRank, b[i].firstItsRank);
+        ASSERT_EQ(a[i].ranking.size(), b[i].ranking.size());
+        for (std::size_t r = 0; r < a[i].ranking.size(); ++r) {
+            EXPECT_EQ(a[i].ranking[r].id, b[i].ranking[r].id);
+            EXPECT_EQ(a[i].ranking[r].entry, b[i].ranking[r].entry);
+            EXPECT_EQ(a[i].ranking[r].name, b[i].ranking[r].name);
+            EXPECT_EQ(scoreBits(a[i].ranking[r].score),
+                      scoreBits(b[i].ranking[r].score))
+                << "sample " << i << " rank " << r;
+        }
+    }
+}
+
+core::PipelineConfig
+cachingPipelineConfig()
+{
+    core::PipelineConfig config;
+    config.behaviorCache = true;
+    return config;
+}
+
+// ---- behavior-bundle serialization -------------------------------------
+
+TEST_F(CacheTest, BundleRoundTripIsBitIdentical)
+{
+    const auto corpus = smallCorpus(1);
+    const core::FitsPipeline pipeline{core::PipelineConfig{}};
+    const auto result = pipeline.run(corpus[0].bytes);
+    ASSERT_TRUE(result.ok);
+
+    core::BehaviorBundle bundle;
+    bundle.imageInfo = result.imageInfo;
+    bundle.binaryName = result.binaryName;
+    bundle.numFunctions = result.numFunctions;
+    bundle.binaryBytes = result.binaryBytes;
+    bundle.behavior = result.behavior;
+
+    const std::string payload = core::encodeBehaviorBundle(bundle);
+    const auto decoded = core::decodeBehaviorBundle(payload);
+    ASSERT_TRUE(decoded.has_value());
+
+    EXPECT_EQ(decoded->binaryName, bundle.binaryName);
+    EXPECT_EQ(decoded->numFunctions, bundle.numFunctions);
+    EXPECT_EQ(decoded->binaryBytes, bundle.binaryBytes);
+    EXPECT_EQ(decoded->imageInfo.vendor, bundle.imageInfo.vendor);
+    ASSERT_EQ(decoded->behavior.records.size(),
+              bundle.behavior.records.size());
+    EXPECT_EQ(decoded->behavior.customFns, bundle.behavior.customFns);
+    EXPECT_EQ(decoded->behavior.anchorFns, bundle.behavior.anchorFns);
+    for (std::size_t i = 0; i < bundle.behavior.records.size(); ++i) {
+        const auto &in = bundle.behavior.records[i];
+        const auto &out = decoded->behavior.records[i];
+        EXPECT_EQ(out.name, in.name);
+        EXPECT_EQ(out.entry, in.entry);
+        const auto inVec = in.bfv.toVector();
+        const auto outVec = out.bfv.toVector();
+        ASSERT_EQ(outVec.size(), inVec.size());
+        for (std::size_t d = 0; d < inVec.size(); ++d)
+            EXPECT_EQ(scoreBits(outVec[d]), scoreBits(inVec[d]));
+    }
+
+    // Re-encoding the decoded bundle must reproduce the exact bytes:
+    // the payload is a pure function of the product.
+    EXPECT_EQ(core::encodeBehaviorBundle(*decoded), payload);
+}
+
+TEST_F(CacheTest, DecodeRejectsCorruptPayloads)
+{
+    const auto corpus = smallCorpus(1);
+    const core::FitsPipeline pipeline{core::PipelineConfig{}};
+    const auto result = pipeline.run(corpus[0].bytes);
+    ASSERT_TRUE(result.ok);
+    core::BehaviorBundle bundle;
+    bundle.behavior = result.behavior;
+    const std::string payload = core::encodeBehaviorBundle(bundle);
+
+    // Truncation anywhere, a wrong magic, a future version, and
+    // trailing garbage must all be rejected — never misparsed.
+    EXPECT_FALSE(core::decodeBehaviorBundle("").has_value());
+    for (const std::size_t cut :
+         {std::size_t{3}, std::size_t{7}, payload.size() / 2,
+          payload.size() - 1}) {
+        EXPECT_FALSE(
+            core::decodeBehaviorBundle(payload.substr(0, cut))
+                .has_value())
+            << "cut at " << cut;
+    }
+    std::string badMagic = payload;
+    badMagic[0] = 'X';
+    EXPECT_FALSE(core::decodeBehaviorBundle(badMagic).has_value());
+    std::string badVersion = payload;
+    badVersion[4] = static_cast<char>(0x7f);
+    EXPECT_FALSE(core::decodeBehaviorBundle(badVersion).has_value());
+    EXPECT_FALSE(
+        core::decodeBehaviorBundle(payload + '\0').has_value());
+}
+
+// ---- memory tier -------------------------------------------------------
+
+TEST_F(CacheTest, LoadImageSharesOneInstancePerContent)
+{
+    const auto corpus = smallCorpus(1);
+    auto unpacked = fw::unpackFirmware(corpus[0].bytes);
+    ASSERT_TRUE(unpacked);
+    const auto &files = unpacked.value().filesystem.files();
+    ASSERT_FALSE(files.empty());
+
+    // The first liftable file will do; config files fail to load and
+    // (by design) are never cached.
+    bool tested = false;
+    for (const auto &entry : files) {
+        const auto first = cache::loadImage(entry.bytes);
+        if (!first)
+            continue;
+        const auto second = cache::loadImage(entry.bytes);
+        ASSERT_TRUE(second);
+        EXPECT_EQ(first.value().get(), second.value().get());
+        tested = true;
+        break;
+    }
+    ASSERT_TRUE(tested);
+    EXPECT_GE(cache::stats().hits, 1u);
+}
+
+TEST_F(CacheTest, ColdAndWarmMemoryRankingsIdentical)
+{
+    const auto corpus = smallCorpus(3);
+    eval::CorpusRunner::Config config;
+    config.jobs = 1;
+    config.pipeline = cachingPipelineConfig();
+
+    const eval::CorpusRunner runner(config);
+    const auto cold = runner.runInference(corpus);
+    const auto coldStats = cache::stats();
+    EXPECT_GT(coldStats.misses, 0u);
+
+    const auto warm = runner.runInference(corpus);
+    const auto warmStats = cache::stats();
+    EXPECT_GT(warmStats.hits, coldStats.hits);
+    expectIdenticalOutcomes(cold, warm);
+
+    // And both equal the fully uncached computation.
+    cache::Options off;
+    off.memory = false;
+    off.disk = false;
+    cache::configure(off);
+    eval::CorpusRunner::Config rawConfig;
+    rawConfig.jobs = 1;
+    rawConfig.cache = false;
+    const eval::CorpusRunner raw(rawConfig);
+    expectIdenticalOutcomes(cold, raw.runInference(corpus));
+}
+
+TEST_F(CacheTest, SerialAndParallelRankingsIdentical)
+{
+    const auto corpus = smallCorpus(4);
+    eval::CorpusRunner::Config serialConfig;
+    serialConfig.jobs = 1;
+    serialConfig.pipeline = cachingPipelineConfig();
+    eval::CorpusRunner::Config parallelConfig = serialConfig;
+    parallelConfig.jobs = 4;
+
+    const auto serial =
+        eval::CorpusRunner(serialConfig).runInference(corpus);
+    cache::clearMemory();
+    const auto parallel =
+        eval::CorpusRunner(parallelConfig).runInference(corpus);
+    expectIdenticalOutcomes(serial, parallel);
+
+    // Warm parallel run (workers race on a hot cache) agrees too.
+    const auto warmParallel =
+        eval::CorpusRunner(parallelConfig).runInference(corpus);
+    expectIdenticalOutcomes(serial, warmParallel);
+}
+
+TEST_F(CacheTest, RunFullWithCacheMatchesWithout)
+{
+    const auto corpus = smallCorpus(2);
+    eval::CorpusRunner::Config config;
+    config.jobs = 1;
+    config.pipeline = cachingPipelineConfig();
+    const auto cached = eval::CorpusRunner(config).runFull(corpus);
+
+    cache::Options off;
+    off.memory = false;
+    off.disk = false;
+    cache::configure(off);
+    eval::CorpusRunner::Config rawConfig;
+    rawConfig.jobs = 1;
+    rawConfig.cache = false;
+    const auto raw = eval::CorpusRunner(rawConfig).runFull(corpus);
+
+    ASSERT_EQ(cached.size(), raw.size());
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+        EXPECT_EQ(cached[i].inference.firstItsRank,
+                  raw[i].inference.firstItsRank);
+        EXPECT_EQ(cached[i].taint.ok, raw[i].taint.ok);
+        EXPECT_EQ(cached[i].taint.sta.alerts, raw[i].taint.sta.alerts);
+        EXPECT_EQ(cached[i].taint.staIts.alerts,
+                  raw[i].taint.staIts.alerts);
+        EXPECT_EQ(cached[i].taint.karonte.alerts,
+                  raw[i].taint.karonte.alerts);
+        EXPECT_EQ(cached[i].taint.sta.bugs, raw[i].taint.sta.bugs);
+    }
+}
+
+TEST_F(CacheTest, LruEvictionKeepsMemoryBounded)
+{
+    cache::Options options = cache::options();
+    options.maxBytes = 64 * 1024;
+    cache::configure(options);
+
+    const std::string blob(16 * 1024, 'x');
+    for (std::uint64_t i = 0; i < 32; ++i)
+        cache::storeBlob("evict-test", i, i, blob);
+
+    const auto stats = cache::stats();
+    EXPECT_LE(stats.bytes, options.maxBytes);
+    EXPECT_GT(stats.evictions, 0u);
+
+    // The newest entry survived; the oldest was evicted.
+    EXPECT_TRUE(cache::fetchBlob("evict-test", 31, 31).has_value());
+    EXPECT_FALSE(cache::fetchBlob("evict-test", 0, 0).has_value());
+}
+
+// ---- disk tier ---------------------------------------------------------
+
+TEST_F(CacheTest, DiskTierSurvivesProcessMemoryLoss)
+{
+    enableDisk();
+    const auto corpus = smallCorpus(2);
+    eval::CorpusRunner::Config config;
+    config.jobs = 1;
+    config.pipeline = cachingPipelineConfig();
+    const eval::CorpusRunner runner(config);
+
+    const auto cold = runner.runInference(corpus);
+    // Dropping the memory tier simulates a fresh process; the second
+    // run must be served from disk, bit-identically.
+    cache::clearMemory();
+    cache::resetStats();
+    const auto warm = runner.runInference(corpus);
+    const auto stats = cache::stats();
+    EXPECT_GT(stats.diskHits, 0u);
+    expectIdenticalOutcomes(cold, warm);
+}
+
+TEST_F(CacheTest, CorruptDiskEntriesDegradeToMisses)
+{
+    enableDisk();
+    const std::string payload = "intermediate taint sources";
+    cache::storeBlob("t", 7, 9, payload);
+    cache::clearMemory();
+    ASSERT_EQ(cache::fetchBlob("t", 7, 9), payload);
+
+    const std::string path = cache::blobPath("t", 7, 9);
+    ASSERT_FALSE(path.empty());
+    ASSERT_TRUE(fs::exists(path));
+
+    const auto rewrite = [&](const std::string &bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    };
+    std::string raw;
+    {
+        std::ifstream in(path, std::ios::binary);
+        raw.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(raw.size(), 8u);
+
+    // Bit flip in the payload: checksum mismatch.
+    std::string flipped = raw;
+    flipped[flipped.size() - 2] =
+        static_cast<char>(flipped[flipped.size() - 2] ^ 0x40);
+    rewrite(flipped);
+    cache::clearMemory();
+    cache::resetStats();
+    EXPECT_FALSE(cache::fetchBlob("t", 7, 9).has_value());
+    EXPECT_GT(cache::stats().diskCorrupt, 0u);
+
+    // Version skew: a future format is a miss, not a parse attempt.
+    std::string skewed = raw;
+    skewed[4] = static_cast<char>(0x7f);
+    rewrite(skewed);
+    cache::clearMemory();
+    EXPECT_FALSE(cache::fetchBlob("t", 7, 9).has_value());
+
+    // Truncation: short reads never crash.
+    rewrite(raw.substr(0, raw.size() / 2));
+    cache::clearMemory();
+    EXPECT_FALSE(cache::fetchBlob("t", 7, 9).has_value());
+
+    // Key echo mismatch: an entry renamed onto another key's path
+    // (stale or attacker-moved) is rejected.
+    rewrite(raw);
+    fs::copy_file(path, cache::blobPath("t", 8, 10),
+                  fs::copy_options::overwrite_existing);
+    cache::clearMemory();
+    EXPECT_FALSE(cache::fetchBlob("t", 8, 10).has_value());
+
+    // The intact original still hits.
+    cache::clearMemory();
+    EXPECT_EQ(cache::fetchBlob("t", 7, 9), payload);
+}
+
+// ---- fault injection ---------------------------------------------------
+
+TEST_F(CacheTest, NonCacheFaultsBypassEveryTier)
+{
+    enableDisk();
+    EXPECT_TRUE(cache::memoryUsable());
+    EXPECT_TRUE(cache::diskUsable());
+
+    // A rule that can fire inside a cached computation forces bypass.
+    ASSERT_TRUE(chaos::configure("unpack.*@50"));
+    EXPECT_FALSE(cache::memoryUsable());
+    EXPECT_FALSE(cache::diskUsable());
+
+    // Faults confined to the cache's own sites leave it usable —
+    // they exercise its degradation paths instead.
+    ASSERT_TRUE(chaos::configure("cache.read@50,cache.write@50"));
+    EXPECT_TRUE(cache::memoryUsable());
+    EXPECT_TRUE(cache::diskUsable());
+}
+
+TEST_F(CacheTest, InjectedWriteFaultSkipsDiskEntry)
+{
+    enableDisk();
+    ASSERT_TRUE(chaos::configure("cache.write"));
+    cache::storeBlob("t", 1, 2, "payload");
+    chaos::reset();
+    cache::clearMemory();
+    EXPECT_FALSE(cache::fetchBlob("t", 1, 2).has_value());
+    EXPECT_FALSE(fs::exists(cache::blobPath("t", 1, 2)));
+}
+
+TEST_F(CacheTest, InjectedReadFaultDegradesToMiss)
+{
+    enableDisk();
+    cache::storeBlob("t", 3, 4, "payload");
+    cache::clearMemory();
+    ASSERT_TRUE(chaos::configure("cache.read"));
+    cache::resetStats();
+    EXPECT_FALSE(cache::fetchBlob("t", 3, 4).has_value());
+    EXPECT_GT(cache::stats().diskCorrupt, 0u);
+    chaos::reset();
+    EXPECT_EQ(cache::fetchBlob("t", 3, 4), std::string("payload"));
+}
+
+TEST_F(CacheTest, PipelineUnderCacheFaultsStillCorrect)
+{
+    enableDisk();
+    const auto corpus = smallCorpus(2);
+    eval::CorpusRunner::Config config;
+    config.jobs = 1;
+    config.pipeline = cachingPipelineConfig();
+    const eval::CorpusRunner runner(config);
+    const auto baseline = runner.runInference(corpus);
+
+    // Every cache access failing must not change a single score.
+    ASSERT_TRUE(chaos::configure("cache.read,cache.write"));
+    cache::clearMemory();
+    const auto faulted = runner.runInference(corpus);
+    expectIdenticalOutcomes(baseline, faulted);
+}
+
+} // namespace
+} // namespace fits

@@ -116,7 +116,7 @@ TEST(Triage, ItsGetterProfilesAsMemoryOperator)
     auto target =
         fw::selectAnalysisTarget(unpacked.value().filesystem);
     ASSERT_TRUE(target);
-    const analysis::LinkedProgram linked(target.value().main,
+    const analysis::LinkedProgram linked(*target.value().main,
                                          target.value().libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
 
@@ -148,7 +148,7 @@ TEST(Triage, CommandHandlersAreSensitive)
     auto target =
         fw::selectAnalysisTarget(unpacked.value().filesystem);
     ASSERT_TRUE(target);
-    const analysis::LinkedProgram linked(target.value().main,
+    const analysis::LinkedProgram linked(*target.value().main,
                                          target.value().libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
 

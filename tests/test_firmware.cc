@@ -183,7 +183,7 @@ TEST(Select, PicksHighestScoringExecutable)
                 bin::writeBinary(makeNetworkBinary("httpd", true))});
     auto target = selectAnalysisTarget(fs);
     ASSERT_TRUE(target) << target.errorMessage();
-    EXPECT_EQ(target.value().main.name, "httpd");
+    EXPECT_EQ(target.value().main->name, "httpd");
     // libc.so missing from the filesystem: recorded, not fatal.
     EXPECT_EQ(target.value().missingLibraries,
               std::vector<std::string>{"libc.so"});
@@ -229,7 +229,7 @@ TEST(Select, ResolvesDependencyLibraries)
     auto target = selectAnalysisTarget(fs);
     ASSERT_TRUE(target);
     ASSERT_EQ(target.value().libraries.size(), 1u);
-    EXPECT_EQ(target.value().libraries[0].name, "libc.so");
+    EXPECT_EQ(target.value().libraries[0]->name, "libc.so");
     EXPECT_TRUE(target.value().missingLibraries.empty());
 }
 

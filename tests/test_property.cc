@@ -146,7 +146,7 @@ TEST_P(SeedSweep, AlertsLandOnPlantedSinkSites)
     auto target =
         fw::selectAnalysisTarget(unpacked.value().filesystem);
     ASSERT_TRUE(target);
-    const analysis::LinkedProgram linked(target.value().main,
+    const analysis::LinkedProgram linked(*target.value().main,
                                          target.value().libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
     const taint::StaEngine sta;

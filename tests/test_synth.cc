@@ -186,11 +186,11 @@ TEST(FirmwareGen, RoundTripsThroughUnpackAndSelect)
         fw::selectAnalysisTarget(unpacked.value().filesystem);
     ASSERT_TRUE(target) << target.errorMessage();
     EXPECT_EQ(target.value().libraries.size(), 1u);
-    EXPECT_EQ(target.value().libraries[0].name, "libc.so");
+    EXPECT_EQ(target.value().libraries[0]->name, "libc.so");
     EXPECT_TRUE(target.value().missingLibraries.empty());
     // The selected binary is the generated network binary, not the
     // busybox filler.
-    EXPECT_NE(target.value().main.importByName("recv"), nullptr);
+    EXPECT_NE(target.value().main->importByName("recv"), nullptr);
 }
 
 TEST(FirmwareGen, FailureModesFailAtTheRightStage)

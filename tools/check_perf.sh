@@ -1,0 +1,65 @@
+#!/bin/sh
+# Performance regression check: run the micro-benchmarks and the
+# Figure-4 time/overhead bench, write their BENCH_*.json records, and
+# compare the headline numbers against the committed baselines at the
+# repo root. Regressions WARN — they never fail the build, because
+# wall-clock numbers are machine-dependent; the point is a visible
+# diff next to the functional checks, plus fresh baselines to commit
+# when a change is intentional.
+#
+# Usage: tools/check_perf.sh [build-dir] [out-dir]
+#   build-dir  default: build        (must already be configured)
+#   out-dir    default: <build-dir>/perf   (new BENCH_*.json land here)
+set -e
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+OUT=${2:-"$BUILD/perf"}
+
+cmake --build "$BUILD" --target bench_micro bench_fig4_time_overhead \
+    -j "$(nproc)"
+mkdir -p "$OUT"
+
+# Old google-benchmark: --benchmark_min_time takes plain seconds.
+(cd "$OUT" && FITS_BENCH_DIR="$OUT" \
+    "$BUILD/bench/bench_micro" --benchmark_min_time=0.2)
+(cd "$OUT" && FITS_BENCH_DIR="$OUT" "$BUILD/bench/bench_fig4_time_overhead")
+
+# Warn-only comparison of every shared numeric field, baseline vs new.
+python3 - "$ROOT" "$OUT" <<'EOF'
+import json, os, sys
+
+root, out = sys.argv[1], sys.argv[2]
+tolerance = 0.15  # warn beyond +/-15%
+warned = False
+for name in ("BENCH_micro.json", "BENCH_fig4_time_overhead.json"):
+    base_path = os.path.join(root, name)
+    new_path = os.path.join(out, name)
+    if not os.path.exists(new_path):
+        print(f"perf: {name}: no new record produced", file=sys.stderr)
+        warned = True
+        continue
+    if not os.path.exists(base_path):
+        print(f"perf: {name}: no committed baseline; copy "
+              f"{new_path} to the repo root to create one")
+        continue
+    base = json.load(open(base_path))["fields"]
+    new = json.load(open(new_path))["fields"]
+    for key in sorted(set(base) & set(new)):
+        b, n = base[key], new[key]
+        if not isinstance(b, (int, float)) or not isinstance(n, (int, float)):
+            continue
+        if b == 0:
+            continue
+        delta = (n - b) / abs(b)
+        marker = ""
+        if key.endswith("_ms") and delta > tolerance:
+            marker = "  <-- WARNING: slower than baseline"
+            warned = True
+        print(f"perf: {name[6:-5]}.{key}: baseline {b:g} -> {n:g} "
+              f"({delta:+.1%}){marker}")
+print("perf: comparison is advisory only (warn, never fail)"
+      if warned else "perf: within baseline tolerance")
+EOF
+
+echo "perf: records written to $OUT"

@@ -25,4 +25,10 @@ TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
 TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
     --gtest_filter='ChaosTest.*'
 
+# The analysis cache is shared mutable state under the fan-out:
+# single-flight futures, LRU accounting, and stat counters all see
+# concurrent workers in the parallel-ranking tests.
+TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
+    --gtest_filter='CacheTest.*'
+
 echo "tsan: no data races detected"

@@ -15,18 +15,21 @@
  *       Run a taint engine with the classical sources plus any given
  *       intermediate sources and print the alerts.
  *   fits corpus [--jobs N] [--taint] [--dir DIR]
- *               [--metrics-out FILE]
+ *               [--metrics-out FILE] [--no-cache]
  *       Evaluate the standard 59-sample corpus in parallel (per-vendor
  *       precision; with --taint also the four engine configurations,
  *       from one shared analysis pass per sample). --dir evaluates
  *       every *.fwimg under DIR instead of the synthetic corpus;
  *       --metrics-out enables the fits::obs registry and writes its
- *       JSON snapshot after the run. Exits non-zero when every sample
- *       fails.
+ *       JSON snapshot after the run; --no-cache disables the analysis
+ *       cache (results are identical either way — set FITS_CACHE_DIR
+ *       to persist the cache across invocations). Exits non-zero when
+ *       every sample fails.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +39,7 @@
 #include <vector>
 
 #include "analysis/program_analysis.hh"
+#include "cache/cache.hh"
 #include "chaos/chaos.hh"
 #include "core/anchors.hh"
 #include "core/pipeline.hh"
@@ -70,9 +74,10 @@ usage()
         "  fits disasm <image.fwimg> <function-addr>\n"
         "  fits score <image.fwimg>   (needs <image>.truth sidecar)\n"
         "  fits corpus [--jobs N] [--taint] [--dir DIR] "
-        "[--metrics-out FILE]\n"
-        "              (FITS_JOBS also sets N; exits 1 when every "
-        "sample fails)\n"
+        "[--metrics-out FILE] [--no-cache]\n"
+        "              (FITS_JOBS also sets N; FITS_CACHE_DIR "
+        "persists the analysis cache;\n"
+        "              exits 1 when every sample fails)\n"
         "  fits faults   (list fault-injection sites; arm with "
         "FITS_FAULTS=<spec>[:<seed>])\n"
         "env: FITS_STAGE_TIMEOUT_MS bounds each cooperative pipeline "
@@ -252,7 +257,7 @@ cmdInfo(const std::string &path)
                     target.errorMessage().c_str());
         return 0;
     }
-    const auto &main = target.value().main;
+    const auto &main = *target.value().main;
     std::printf("\nnetwork binary: %s (%s, %zu functions, "
                 "stripped: %s)\n",
                 main.name.c_str(), bin::archName(main.arch),
@@ -271,6 +276,10 @@ cmdRank(const std::string &path, int argc, char **argv)
 {
     std::size_t top = 10;
     core::PipelineConfig config;
+    // Repeated ranks of the same image are served from the cache
+    // (persistently so under FITS_CACHE_DIR); the ranking is
+    // bit-identical either way.
+    config.behaviorCache = true;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--top" && i + 1 < argc) {
@@ -342,7 +351,7 @@ cmdTaint(const std::string &path, int argc, char **argv)
                      target.errorMessage().c_str());
         return 1;
     }
-    const analysis::LinkedProgram linked(target.value().main,
+    const analysis::LinkedProgram linked(*target.value().main,
                                          target.value().libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
 
@@ -435,7 +444,7 @@ cmdScore(const std::string &path)
     auto unpacked = fw::unpackFirmware(bytes);
     auto target =
         fw::selectAnalysisTarget(unpacked.value().filesystem);
-    const analysis::LinkedProgram linked(target.value().main,
+    const analysis::LinkedProgram linked(*target.value().main,
                                          target.value().libraries);
     const auto pa = analysis::ProgramAnalysis::analyze(linked);
     const auto report = taint::StaEngine().run(pa, verified);
@@ -483,9 +492,9 @@ cmdDisasm(const std::string &path, const std::string &addrText)
     }
     const ir::Addr addr = std::strtoull(addrText.c_str(), nullptr, 0);
     const ir::Function *fn =
-        target.value().main.program.functionAt(addr);
+        target.value().main->program.functionAt(addr);
     if (fn == nullptr)
-        fn = target.value().main.program.functionContaining(addr);
+        fn = target.value().main->program.functionContaining(addr);
     if (fn == nullptr) {
         std::fprintf(stderr, "no function at %s\n",
                      support::hex(addr).c_str());
@@ -555,6 +564,7 @@ cmdCorpus(int argc, char **argv)
 {
     std::size_t jobs = 0;
     bool withTaint = false;
+    bool useCache = true;
     std::string corpusDir;
     std::string metricsOut;
     for (int i = 0; i < argc; ++i) {
@@ -563,6 +573,8 @@ cmdCorpus(int argc, char **argv)
             jobs = std::strtoul(argv[++i], nullptr, 0);
         } else if (arg == "--taint") {
             withTaint = true;
+        } else if (arg == "--no-cache") {
+            useCache = false;
         } else if (arg == "--dir" && i + 1 < argc) {
             corpusDir = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -574,9 +586,19 @@ cmdCorpus(int argc, char **argv)
 
     if (!metricsOut.empty())
         obs::setEnabled(true);
+    if (!useCache) {
+        // Turn off every tier, including the in-process one the
+        // pipeline uses for per-image analyses.
+        cache::Options off;
+        off.memory = false;
+        off.disk = false;
+        cache::configure(off);
+    }
+    cache::resetStats();
 
     eval::CorpusRunner::Config config;
     config.jobs = jobs;
+    config.cache = useCache;
     const eval::CorpusRunner runner(config);
     bool dirOk = true;
     const auto corpus = corpusDir.empty()
@@ -721,6 +743,26 @@ cmdCorpus(int argc, char **argv)
     }
     std::printf("wall clock: %.1f ms with %zu jobs\n", wallMs,
                 runner.jobs());
+
+    // Cache effectiveness: a memory miss that the disk tier served
+    // still counts as a hit overall.
+    const cache::Stats cstats = cache::stats();
+    const cache::Options copts = cache::options();
+    const std::uint64_t hits = cstats.hits + cstats.diskHits;
+    const std::uint64_t misses =
+        copts.memory
+            ? cstats.misses - std::min(cstats.misses, cstats.diskHits)
+            : cstats.diskMisses;
+    const char *tier = copts.memory && copts.disk ? "mem+disk"
+                       : copts.disk               ? "disk"
+                       : copts.memory             ? "mem"
+                                                  : "off";
+    std::printf("cache: %llu hits / %llu misses, %.1f MiB, "
+                "tier=%s\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<double>(cstats.bytes) / (1024.0 * 1024.0),
+                tier);
 
     if (!metricsOut.empty()) {
         if (obs::Registry::instance().exportToFile(metricsOut)) {
