@@ -26,8 +26,8 @@ TablePrinter::addSeparator()
     rows_.push_back({kSeparatorTag_});
 }
 
-void
-TablePrinter::print() const
+std::string
+TablePrinter::render() const
 {
     std::vector<std::size_t> widths(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c)
@@ -39,33 +39,41 @@ TablePrinter::print() const
             widths[c] = std::max(widths[c], row[c].size());
     }
 
-    auto printSeparator = [&]() {
-        std::string line = "+";
+    std::string out;
+    auto renderSeparator = [&]() {
+        out += "+";
         for (std::size_t w : widths)
-            line += std::string(w + 2, '-') + "+";
-        std::printf("%s\n", line.c_str());
+            out += std::string(w + 2, '-') + "+";
+        out += "\n";
     };
-    auto printCells = [&](const std::vector<std::string> &cells) {
-        std::string line = "|";
+    auto renderCells = [&](const std::vector<std::string> &cells) {
+        out += "|";
         for (std::size_t c = 0; c < widths.size(); ++c) {
             const std::string &cell =
                 c < cells.size() ? cells[c] : std::string();
-            line += " " + cell +
-                    std::string(widths[c] - cell.size(), ' ') + " |";
+            out += " " + cell +
+                   std::string(widths[c] - cell.size(), ' ') + " |";
         }
-        std::printf("%s\n", line.c_str());
+        out += "\n";
     };
 
-    printSeparator();
-    printCells(headers_);
-    printSeparator();
+    renderSeparator();
+    renderCells(headers_);
+    renderSeparator();
     for (const auto &row : rows_) {
         if (!row.empty() && row[0] == kSeparatorTag_)
-            printSeparator();
+            renderSeparator();
         else
-            printCells(row);
+            renderCells(row);
     }
-    printSeparator();
+    renderSeparator();
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
 }
 
 std::string

@@ -21,6 +21,9 @@ class TablePrinter
     /** Insert a horizontal separator before the next row. */
     void addSeparator();
 
+    /** Render the table as a newline-terminated string. */
+    std::string render() const;
+
     /** Render to stdout. */
     void print() const;
 

@@ -1,0 +1,106 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+namespace fits::serve {
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &socketPath, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.empty() ||
+        socketPath.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr)
+            *error = "bad socket path";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error != nullptr)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        if (error != nullptr)
+            *error = "connect " + socketPath + ": " +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        while (::close(fd_) < 0 && errno == EINTR) {
+        }
+        fd_ = -1;
+    }
+}
+
+bool
+Client::call(const wire::Value &request, wire::Value *response,
+             std::string *error)
+{
+    if (fd_ < 0) {
+        if (error != nullptr)
+            *error = "not connected";
+        return false;
+    }
+    wire::Value tagged = request;
+    tagged.set("id", wire::Value::integer(
+                         static_cast<std::int64_t>(nextId_++)));
+    if (!wire::writeFrame(fd_, tagged, error))
+        return false;
+    std::string readError;
+    if (!wire::readFrame(fd_, response, &readError)) {
+        if (error != nullptr)
+            *error = readError.empty()
+                         ? "server closed the connection"
+                         : readError;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::submit(const wire::Value &request, wire::Value *response,
+               std::string *error, int maxAttempts)
+{
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        if (!call(request, response, error))
+            return false;
+        const std::string status = response->getString("status");
+        if (status != "retry") {
+            return true;
+        }
+        const double pauseMs =
+            response->getNumber("retry_after_ms", 25.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(pauseMs));
+    }
+    if (error != nullptr)
+        *error = "request still rejected after " +
+                 std::to_string(maxAttempts) + " attempts";
+    return false;
+}
+
+} // namespace fits::serve

@@ -1,0 +1,54 @@
+#ifndef FITS_SERVE_CLIENT_HH_
+#define FITS_SERVE_CLIENT_HH_
+
+#include <string>
+
+#include "serve/wire.hh"
+
+namespace fits::serve {
+
+/**
+ * Blocking client for the `fits serve` daemon: one unix-domain
+ * connection, one request/response round trip at a time. `submit()`
+ * additionally honors the server's backpressure protocol — a
+ * `{"status":"retry","retry_after_ms":...}` response is retried
+ * after the hinted pause, so callers see only final outcomes.
+ */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a server socket; false + `error` on failure. */
+    bool connect(const std::string &socketPath, std::string *error);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** One round trip, no retry handling. False on any transport
+     * failure (connection refused, dropped mid-response, corrupt
+     * frame); the response may still be a protocol-level error
+     * (status "error") — that returns true. */
+    bool call(const wire::Value &request, wire::Value *response,
+              std::string *error);
+
+    /** call() with backpressure handling: "retry" responses sleep
+     * for the server's retry_after_ms hint and resubmit, up to
+     * `maxAttempts` total tries. A "draining" response is terminal.
+     */
+    bool submit(const wire::Value &request, wire::Value *response,
+                std::string *error, int maxAttempts = 200);
+
+  private:
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace fits::serve
+
+#endif // FITS_SERVE_CLIENT_HH_

@@ -1,0 +1,374 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "chaos/chaos.hh"
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+
+namespace fits::serve {
+
+namespace {
+
+/** Close an fd, retrying on EINTR; tolerates -1. */
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        while (::close(fd) < 0 && errno == EINTR) {
+        }
+        fd = -1;
+    }
+}
+
+} // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      resolvedJobs_(support::resolveJobs(config_.jobs))
+{
+    if (config_.queueLimit == 0)
+        config_.queueLimit = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.empty() ||
+        config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr)
+            *error = "bad socket path: " +
+                     (config_.socketPath.empty()
+                          ? std::string("empty")
+                          : "longer than " +
+                                std::to_string(
+                                    sizeof(addr.sun_path) - 1) +
+                                " bytes");
+        return false;
+    }
+    std::memcpy(addr.sun_path, config_.socketPath.c_str(),
+                config_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error != nullptr)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    // A stale socket file from a dead server blocks bind; remove it.
+    // A live server would still win the race to listen first.
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (error != nullptr)
+            *error = "bind " + config_.socketPath + ": " +
+                     std::strerror(errno);
+        closeFd(listenFd_);
+        return false;
+    }
+    if (::listen(listenFd_, 64) < 0) {
+        if (error != nullptr)
+            *error = std::string("listen: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        return false;
+    }
+    if (::pipe(drainPipe_) < 0) {
+        if (error != nullptr)
+            *error = std::string("pipe: ") + std::strerror(errno);
+        closeFd(listenFd_);
+        return false;
+    }
+
+    pool_ = std::make_unique<support::ThreadPool>(resolvedJobs_);
+    running_.store(true);
+    draining_.store(false);
+    drained_.store(false);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::beginDrain()
+{
+    // Async-signal-safe: one atomic store, one pipe write. The
+    // acceptor wakes on the pipe and exits its loop.
+    draining_.store(true);
+    if (drainPipe_[1] >= 0) {
+        const char byte = 'd';
+        [[maybe_unused]] const ssize_t w =
+            ::write(drainPipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::waitUntilDrained()
+{
+    if (!running_.load() || drained_.exchange(true))
+        return;
+
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // Finish in-flight: every admitted request completes and its
+    // response is written before any connection is torn down.
+    {
+        std::unique_lock<std::mutex> lock(pendingMutex_);
+        pendingCv_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+    // Wake connection readers and join them.
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (const auto &conn : connections_) {
+            if (!conn->dead.exchange(true))
+                ::shutdown(conn->fd, SHUT_RDWR);
+        }
+    }
+    for (auto &thread : connectionThreads_)
+        thread.join();
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (const auto &conn : connections_)
+            closeFd(conn->fd);
+        connections_.clear();
+        connectionThreads_.clear();
+    }
+
+    pool_.reset(); // joins workers after the (empty) queue drains
+
+    if (!config_.metricsOut.empty() && obs::enabled()) {
+        if (!obs::Registry::instance().exportToFile(
+                config_.metricsOut)) {
+            support::logWarn("serve", "cannot write metrics to " +
+                                          config_.metricsOut);
+        }
+    }
+
+    closeFd(drainPipe_[0]);
+    closeFd(drainPipe_[1]);
+    ::unlink(config_.socketPath.c_str());
+    running_.store(false);
+}
+
+void
+Server::stop()
+{
+    if (!running_.load())
+        return;
+    beginDrain();
+    waitUntilDrained();
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(pendingMutex_);
+    return pending_;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0].fd = listenFd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = drainPipe_[0];
+        fds[1].events = POLLIN;
+        const int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (draining_.load() || (fds[1].revents & POLLIN) != 0)
+            break;
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        if (chaos::shouldInject("serve.accept")) {
+            // Injected accept fault: the connection drops before its
+            // first request. Clients see EOF and report a clean
+            // transport error; the server keeps serving.
+            obs::addCounter("serve.faults");
+            ::close(fd);
+            continue;
+        }
+        obs::addCounter("serve.connections");
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections_.push_back(conn);
+        connectionThreads_.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+    closeFd(listenFd_);
+}
+
+bool
+Server::admit(wire::Value *rejection)
+{
+    if (draining_.load()) {
+        *rejection = wire::Value::object();
+        rejection->set("status", wire::Value::string("draining"));
+        rejection->set(
+            "error",
+            wire::Value::string("server is draining; resubmit to the "
+                                "next instance"));
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(pendingMutex_);
+    if (pending_ >= config_.queueLimit) {
+        rejected_.fetch_add(1);
+        obs::addCounter("serve.rejected");
+        *rejection = wire::Value::object();
+        rejection->set("status", wire::Value::string("retry"));
+        rejection->set("retry_after_ms",
+                       wire::Value::number(config_.retryAfterMs));
+        rejection->set(
+            "error",
+            wire::Value::string(
+                "request queue is full (" +
+                std::to_string(config_.queueLimit) + " in flight)"));
+        return false;
+    }
+    ++pending_;
+    requests_.fetch_add(1);
+    obs::addCounter("serve.requests");
+    obs::setGauge("serve.queue_depth",
+                  static_cast<double>(pending_));
+    return true;
+}
+
+void
+Server::finishRequest()
+{
+    {
+        std::lock_guard<std::mutex> lock(pendingMutex_);
+        --pending_;
+        obs::setGauge("serve.queue_depth",
+                      static_cast<double>(pending_));
+    }
+    pendingCv_.notify_all();
+}
+
+void
+Server::writeResponse(const std::shared_ptr<Connection> &conn,
+                      const wire::Value &response)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->dead.load())
+        return;
+    if (chaos::shouldInject("serve.write")) {
+        // Injected write fault: the response is lost and the
+        // connection dropped, as if the peer's link died. The request
+        // itself completed; only delivery fails.
+        obs::addCounter("serve.faults");
+        conn->dead.store(true);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return;
+    }
+    std::string error;
+    if (!wire::writeFrame(conn->fd, response, &error)) {
+        errors_.fetch_add(1);
+        obs::addCounter("serve.errors");
+        conn->dead.store(true);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+}
+
+void
+Server::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    for (;;) {
+        wire::Value request;
+        std::string error;
+        if (!wire::readFrame(conn->fd, &request, &error)) {
+            // "" = clean EOF (peer closed); anything else is a
+            // transport or framing error worth counting. Either way
+            // this connection is done — a corrupt frame leaves the
+            // stream unsynchronized.
+            if (!error.empty() && !conn->dead.load()) {
+                errors_.fetch_add(1);
+                obs::addCounter("serve.errors");
+            }
+            // Surface the close to the peer now (EOF on its next
+            // read) instead of holding the fd open until the drain.
+            if (!conn->dead.exchange(true))
+                ::shutdown(conn->fd, SHUT_RDWR);
+            break;
+        }
+        if (chaos::shouldInject("serve.read")) {
+            // Injected read fault: the frame arrived but is treated
+            // as unreadable. Degrades to a clean per-request error;
+            // the connection (and server) keep going.
+            obs::addCounter("serve.faults");
+            wire::Value response = wire::Value::object();
+            if (const wire::Value *id = request.find("id"))
+                response.set("id", *id);
+            response.set("status", wire::Value::string("error"));
+            response.set("error",
+                         wire::Value::string(
+                             chaos::injectedStatus("serve.read")
+                                 .toString()));
+            writeResponse(conn, response);
+            continue;
+        }
+
+        wire::Value rejection;
+        if (!admit(&rejection)) {
+            if (const wire::Value *id = request.find("id"))
+                rejection.set("id", *id);
+            writeResponse(conn, rejection);
+            continue;
+        }
+
+        const auto enqueued = std::chrono::steady_clock::now();
+        pool_->submit([this, conn, request = std::move(request),
+                       enqueued]() mutable {
+            const double waitedMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - enqueued)
+                    .count();
+            obs::observe("serve.wait_ms", waitedMs);
+            wire::Value response;
+            try {
+                response = handleRequest(request, waitedMs);
+            } catch (const std::exception &e) {
+                errors_.fetch_add(1);
+                obs::addCounter("serve.errors");
+                response = wire::Value::object();
+                response.set("status", wire::Value::string("error"));
+                response.set("error",
+                             wire::Value::string(
+                                 std::string("worker exception: ") +
+                                 e.what()));
+            }
+            if (const wire::Value *id = request.find("id"))
+                response.set("id", *id);
+            writeResponse(conn, response);
+            finishRequest();
+        });
+    }
+}
+
+} // namespace fits::serve

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Request execution for the `fits serve` daemon: the dispatch table
+ * behind Server::handleRequest. Each op reuses the exact machinery of
+ * the one-shot CLI — `eval::runCorpusReport`, `eval::runRankReport`,
+ * `eval::runTaintReport`, the `core::FitsPipeline` — so a client
+ * submitting the same work gets byte-identical tables, with the
+ * process-wide analysis cache shared across requests.
+ *
+ * Protocol: requests are JSON objects with an "op" member; responses
+ * echo the request "id" (if any) and carry "status": "ok", "error",
+ * "retry" (backpressure), or "draining". Error responses carry the
+ * exact stderr text the one-shot tool would print in "error", so
+ * `fits client` can relay it verbatim.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <thread>
+
+#include "core/pipeline.hh"
+#include "eval/report.hh"
+#include "obs/metrics.hh"
+#include "serve/server.hh"
+#include "support/deadline.hh"
+#include "support/status.hh"
+#include "support/strings.hh"
+
+namespace fits::serve {
+
+namespace {
+
+wire::Value
+okResponse(const std::string &op)
+{
+    wire::Value response = wire::Value::object();
+    response.set("status", wire::Value::string("ok"));
+    response.set("op", wire::Value::string(op));
+    return response;
+}
+
+wire::Value
+errorResponse(const std::string &op, std::string stderrText)
+{
+    wire::Value response = wire::Value::object();
+    response.set("status", wire::Value::string("error"));
+    response.set("op", wire::Value::string(op));
+    response.set("error", wire::Value::string(std::move(stderrText)));
+    return response;
+}
+
+/** Read an image request argument with the one-shot CLI's exact
+ * diagnostics (missing / directory / unreadable). */
+bool
+readImageArg(const std::string &path,
+             std::vector<std::uint8_t> *bytes, std::string *error)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::file_status st = fs::status(path, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+        *error = support::format("cannot read %s: no such file\n",
+                                 path.c_str());
+        return false;
+    }
+    if (st.type() == fs::file_type::directory) {
+        *error = support::format("cannot read %s: is a directory "
+                                 "(expected a .fwimg file)\n",
+                                 path.c_str());
+        return false;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *error = support::format("cannot read %s: open failed "
+                                 "(permissions?)\n",
+                                 path.c_str());
+        return false;
+    }
+    bytes->assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    return true;
+}
+
+/** Clamp a pipeline config's stage budgets to the request's remaining
+ * wall-clock budget, keeping any tighter pre-existing budget. */
+void
+applyRequestBudget(core::PipelineConfig *config, double remainingMs)
+{
+    if (remainingMs <= 0.0)
+        return;
+    if (config->budgets.behaviorMs <= 0.0 ||
+        config->budgets.behaviorMs > remainingMs)
+        config->budgets.behaviorMs = remainingMs;
+    if (config->budgets.taintMs <= 0.0 ||
+        config->budgets.taintMs > remainingMs)
+        config->budgets.taintMs = remainingMs;
+}
+
+} // namespace
+
+wire::Value
+Server::handleRequest(const wire::Value &request, double waitedMs)
+{
+    const std::string op = request.getString("op");
+    if (op.empty()) {
+        return errorResponse(
+            "", "bad request: missing \"op\" member\n");
+    }
+
+    // Per-request wall-clock budget covers queue wait and execution:
+    // a request that waited out its whole budget is answered without
+    // running.
+    double remainingMs = 0.0;
+    if (config_.requestTimeoutMs > 0.0) {
+        remainingMs = config_.requestTimeoutMs - waitedMs;
+        if (remainingMs <= 0.0) {
+            obs::addCounter("serve.timeouts");
+            return errorResponse(
+                op, support::Status::error(
+                        support::Stage::Serve,
+                        support::ErrorCode::Timeout,
+                        "request spent its " +
+                            std::to_string(static_cast<long>(
+                                config_.requestTimeoutMs)) +
+                            " ms budget waiting in the queue")
+                            .toString() +
+                        "\n");
+        }
+    }
+
+    obs::ScopedTimer timer("serve/" + op);
+
+    wire::Value response;
+    if (op == "ping") {
+        response = okResponse(op);
+        response.set("jobs",
+                     wire::Value::integer(
+                         static_cast<std::int64_t>(resolvedJobs_)));
+        response.set("queue_limit",
+                     wire::Value::integer(static_cast<std::int64_t>(
+                         config_.queueLimit)));
+    } else if (op == "sleep") {
+        // Diagnostic op: occupy one worker slot for `ms`. The
+        // backpressure and drain tests use it to make queue states
+        // deterministic.
+        const double ms = request.getNumber("ms", 10.0);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+        response = okResponse(op);
+        response.set("slept_ms", wire::Value::number(ms));
+    } else if (op == "rank" || op == "infer") {
+        const std::string path = request.getString("path");
+        std::vector<std::uint8_t> bytes;
+        std::string error;
+        if (!readImageArg(path, &bytes, &error)) {
+            response = errorResponse(op, std::move(error));
+        } else if (op == "rank") {
+            core::PipelineConfig config;
+            applyRequestBudget(&config, remainingMs);
+            const auto top = static_cast<std::size_t>(
+                request.getInt("top", 10));
+            const bool useSymbols =
+                request.getBool("use_symbols", false);
+            const auto report =
+                eval::runRankReport(bytes, top, useSymbols, config);
+            if (!report.ok) {
+                response = errorResponse(op, report.error);
+            } else {
+                response = okResponse(op);
+                response.set("output",
+                             wire::Value::string(report.text));
+            }
+        } else {
+            // infer: the machine-readable sibling of rank — the full
+            // ranking as structured JSON instead of a rendered table.
+            core::PipelineConfig config;
+            config.behaviorCache = true;
+            config.infer.useSymbolNames =
+                request.getBool("use_symbols", false);
+            applyRequestBudget(&config, remainingMs);
+            const core::FitsPipeline pipeline(config);
+            const auto result = pipeline.run(bytes);
+            if (!result.ok) {
+                response = errorResponse(
+                    op, support::format("pipeline failed: %s\n",
+                                        result.error.c_str()));
+            } else {
+                response = okResponse(op);
+                response.set("binary",
+                             wire::Value::string(result.binaryName));
+                response.set(
+                    "functions",
+                    wire::Value::integer(static_cast<std::int64_t>(
+                        result.numFunctions)));
+                response.set(
+                    "candidates",
+                    wire::Value::integer(static_cast<std::int64_t>(
+                        result.inference.numCandidates)));
+                response.set("degraded",
+                             wire::Value::boolean(result.degraded));
+                wire::Value ranking = wire::Value::array();
+                for (const auto &rf : result.inference.ranking) {
+                    wire::Value entry = wire::Value::object();
+                    entry.set("entry",
+                              wire::Value::string(
+                                  support::hex(rf.entry)));
+                    entry.set("score", wire::Value::number(rf.score));
+                    if (!rf.name.empty())
+                        entry.set("name",
+                                  wire::Value::string(rf.name));
+                    ranking.push(std::move(entry));
+                }
+                response.set("ranking", std::move(ranking));
+            }
+        }
+    } else if (op == "taint") {
+        const std::string path = request.getString("path");
+        const std::string engine = request.getString("engine", "sta");
+        std::vector<std::uint8_t> bytes;
+        std::string error;
+        if (engine != "sta" && engine != "karonte") {
+            response = errorResponse(
+                op, "bad taint engine \"" + engine +
+                        "\" (expected sta or karonte)\n");
+        } else if (!readImageArg(path, &bytes, &error)) {
+            response = errorResponse(op, std::move(error));
+        } else {
+            std::vector<std::uint64_t> itsAddrs;
+            if (const wire::Value *its = request.find("its")) {
+                for (const wire::Value &addr : its->items())
+                    itsAddrs.push_back(static_cast<std::uint64_t>(
+                        addr.isString()
+                            ? std::strtoull(
+                                  addr.asString().c_str(), nullptr,
+                                  0)
+                            : addr.asInt()));
+            }
+            const auto report =
+                eval::runTaintReport(bytes, engine, itsAddrs);
+            if (!report.ok) {
+                response = errorResponse(op, report.error);
+            } else {
+                response = okResponse(op);
+                response.set("output",
+                             wire::Value::string(report.text));
+            }
+        }
+    } else if (op == "corpus") {
+        eval::CorpusOptions options;
+        options.dir = request.getString("dir");
+        options.taint = request.getBool("taint", false);
+        options.cache = request.getBool("cache", true);
+        options.jobs = static_cast<std::size_t>(
+            request.getInt("jobs", 0));
+        applyRequestBudget(&options.pipeline, remainingMs);
+        const auto report = eval::runCorpusReport(options);
+        if (!report.ok) {
+            response = errorResponse(op, report.error);
+        } else {
+            response = okResponse(op);
+            response.set("output", wire::Value::string(
+                                       report.header + report.text));
+            response.set("diagnostics",
+                         wire::Value::string(report.diagnostics));
+            response.set("wall_ms",
+                         wire::Value::number(report.wallMs));
+            response.set("jobs",
+                         wire::Value::integer(
+                             static_cast<std::int64_t>(report.jobs)));
+            response.set("samples",
+                         wire::Value::integer(
+                             static_cast<std::int64_t>(
+                                 report.samples)));
+            response.set("failed",
+                         wire::Value::integer(
+                             static_cast<std::int64_t>(
+                                 report.failed)));
+            response.set("degraded",
+                         wire::Value::integer(
+                             static_cast<std::int64_t>(
+                                 report.degraded)));
+            response.set("retried",
+                         wire::Value::integer(
+                             static_cast<std::int64_t>(
+                                 report.retried)));
+            response.set("cache", wire::Value::string(
+                                      eval::renderCacheSummary()));
+            response.set("exit",
+                         wire::Value::integer(report.exitCode()));
+        }
+    } else if (op == "metrics") {
+        response = okResponse(op);
+        response.set("metrics_json",
+                     wire::Value::string(
+                         obs::Registry::instance().toJson()));
+        response.set("requests",
+                     wire::Value::integer(static_cast<std::int64_t>(
+                         requests_.load())));
+        response.set("rejected",
+                     wire::Value::integer(static_cast<std::int64_t>(
+                         rejected_.load())));
+        response.set("queue_depth",
+                     wire::Value::integer(
+                         static_cast<std::int64_t>(queueDepth())));
+        response.set("cache", wire::Value::string(
+                                  eval::renderCacheSummary()));
+    } else if (op == "shutdown") {
+        beginDrain();
+        response = okResponse(op);
+        response.set("draining", wire::Value::boolean(true));
+    } else {
+        response = errorResponse(
+            op, "unknown op \"" + op + "\"\n");
+    }
+
+    obs::observe("serve.request_ms", timer.stopMs());
+    return response;
+}
+
+} // namespace fits::serve

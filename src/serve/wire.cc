@@ -1,0 +1,733 @@
+#include "serve/wire.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fits::serve::wire {
+
+namespace {
+
+const std::string &
+emptyString()
+{
+    static const std::string s;
+    return s;
+}
+
+const std::vector<Value> &
+emptyItems()
+{
+    static const std::vector<Value> v;
+    return v;
+}
+
+const std::vector<Member> &
+emptyMembers()
+{
+    static const std::vector<Member> m;
+    return m;
+}
+
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double n)
+{
+    if (std::isfinite(n) && n == std::floor(n) && n >= -9.0e15 &&
+        n <= 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(n));
+        out += buf;
+        return;
+    }
+    if (!std::isfinite(n)) {
+        // JSON has no NaN/Inf; degrade to null rather than emit an
+        // unparsable token.
+        out += "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+    out += buf;
+}
+
+void
+appendValue(std::string &out, const Value &v)
+{
+    switch (v.kind()) {
+    case Value::Kind::Null:
+        out += "null";
+        break;
+    case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+    case Value::Kind::Number:
+        appendNumber(out, v.asNumber());
+        break;
+    case Value::Kind::String:
+        appendEscaped(out, v.asString());
+        break;
+    case Value::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Value &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendValue(out, item);
+        }
+        out += ']';
+        break;
+    }
+    case Value::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const Member &member : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendEscaped(out, member.first);
+            out += ':';
+            appendValue(out, member.second);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+/** Recursive-descent JSON parser over a string_view. Depth-limited so
+ * a hostile frame cannot overflow the stack. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text)
+        : text_(text)
+    {
+    }
+
+    bool
+    parse(Value *out, std::string *error)
+    {
+        if (!parseValue(out, 0)) {
+            if (error != nullptr)
+                *error = error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            if (error != nullptr)
+                *error = "trailing bytes after JSON value";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    bool
+    fail(const char *why)
+    {
+        if (error_.empty()) {
+            error_ = why;
+            error_ += " at offset ";
+            error_ += std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(Value *out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = Value::string(std::move(s));
+            return true;
+        }
+        if (consumeWord("null")) {
+            *out = Value::null();
+            return true;
+        }
+        if (consumeWord("true")) {
+            *out = Value::boolean(true);
+            return true;
+        }
+        if (consumeWord("false")) {
+            *out = Value::boolean(false);
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(Value *out, std::size_t depth)
+    {
+        consume('{');
+        *out = Value::object();
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(&key))
+                return fail("expected object key");
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            Value v;
+            if (!parseValue(&v, depth + 1))
+                return false;
+            out->set(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value *out, std::size_t depth)
+    {
+        consume('[');
+        *out = Value::array();
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            Value v;
+            if (!parseValue(&v, depth + 1))
+                return false;
+            out->push(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                *out += '"';
+                break;
+            case '\\':
+                *out += '\\';
+                break;
+            case '/':
+                *out += '/';
+                break;
+            case 'b':
+                *out += '\b';
+                break;
+            case 'f':
+                *out += '\f';
+                break;
+            case 'n':
+                *out += '\n';
+                break;
+            case 'r':
+                *out += '\r';
+                break;
+            case 't':
+                *out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Encode the code point as UTF-8. Surrogate pairs are
+                // not combined (the protocol never emits them); each
+                // half round-trips as its raw three-byte form.
+                if (code < 0x80) {
+                    *out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    *out += static_cast<char>(0xc0 | (code >> 6));
+                    *out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    *out += static_cast<char>(0xe0 | (code >> 12));
+                    *out += static_cast<char>(0x80 |
+                                              ((code >> 6) & 0x3f));
+                    *out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value *out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            if (text_[pos_] >= '0' && text_[pos_] <= '9')
+                digits = true;
+            ++pos_;
+        }
+        if (!digits) {
+            pos_ = start;
+            return fail("expected a value");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char *end = nullptr;
+        const double n = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0' || errno == ERANGE) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        *out = Value::number(n);
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+Value
+Value::boolean(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::number(double n)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+}
+
+Value
+Value::integer(std::int64_t n)
+{
+    return number(static_cast<double>(n));
+}
+
+Value
+Value::string(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool(bool fallback) const
+{
+    return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+double
+Value::asNumber(double fallback) const
+{
+    return kind_ == Kind::Number ? number_ : fallback;
+}
+
+std::int64_t
+Value::asInt(std::int64_t fallback) const
+{
+    return kind_ == Kind::Number ? static_cast<std::int64_t>(number_)
+                                 : fallback;
+}
+
+const std::string &
+Value::asString() const
+{
+    return kind_ == Kind::String ? string_ : emptyString();
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    return kind_ == Kind::Array ? items_ : emptyItems();
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ != Kind::Array) {
+        *this = array();
+    }
+    items_.push_back(std::move(v));
+}
+
+const std::vector<Member> &
+Value::members() const
+{
+    return kind_ == Kind::Object ? members_ : emptyMembers();
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const Member &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    if (kind_ != Kind::Object) {
+        *this = object();
+    }
+    for (Member &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string
+Value::getString(std::string_view key, std::string_view fallback) const
+{
+    const Value *v = find(key);
+    return v != nullptr && v->isString() ? v->asString()
+                                         : std::string(fallback);
+}
+
+double
+Value::getNumber(std::string_view key, double fallback) const
+{
+    const Value *v = find(key);
+    return v != nullptr ? v->asNumber(fallback) : fallback;
+}
+
+std::int64_t
+Value::getInt(std::string_view key, std::int64_t fallback) const
+{
+    const Value *v = find(key);
+    return v != nullptr ? v->asInt(fallback) : fallback;
+}
+
+bool
+Value::getBool(std::string_view key, bool fallback) const
+{
+    const Value *v = find(key);
+    return v != nullptr ? v->asBool(fallback) : fallback;
+}
+
+std::string
+Value::toJson() const
+{
+    std::string out;
+    appendValue(out, *this);
+    return out;
+}
+
+const char *
+decodeStatusName(DecodeStatus status)
+{
+    switch (status) {
+    case DecodeStatus::Ok:
+        return "ok";
+    case DecodeStatus::NeedMore:
+        return "need-more";
+    case DecodeStatus::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+bool
+parseJson(std::string_view text, Value *out, std::string *error)
+{
+    return Parser(text).parse(out, error);
+}
+
+std::string
+encodeFrame(const Value &value)
+{
+    const std::string payload = value.toJson();
+    std::string frame;
+    frame.reserve(4 + payload.size());
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    frame += static_cast<char>(n & 0xff);
+    frame += static_cast<char>((n >> 8) & 0xff);
+    frame += static_cast<char>((n >> 16) & 0xff);
+    frame += static_cast<char>((n >> 24) & 0xff);
+    frame += payload;
+    return frame;
+}
+
+DecodeStatus
+decodeFrame(const std::uint8_t *data, std::size_t size, Value *out,
+            std::size_t *consumed, std::string *error)
+{
+    if (size < 4)
+        return DecodeStatus::NeedMore;
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(data[0]) |
+        (static_cast<std::uint32_t>(data[1]) << 8) |
+        (static_cast<std::uint32_t>(data[2]) << 16) |
+        (static_cast<std::uint32_t>(data[3]) << 24);
+    if (length > kMaxFrameBytes) {
+        if (error != nullptr)
+            *error = "frame length " + std::to_string(length) +
+                     " exceeds limit";
+        return DecodeStatus::Corrupt;
+    }
+    if (size < 4 + static_cast<std::size_t>(length))
+        return DecodeStatus::NeedMore;
+    const std::string_view payload(
+        reinterpret_cast<const char *>(data + 4), length);
+    std::string parseError;
+    if (!parseJson(payload, out, &parseError)) {
+        if (error != nullptr)
+            *error = "bad frame payload: " + parseError;
+        return DecodeStatus::Corrupt;
+    }
+    if (consumed != nullptr)
+        *consumed = 4 + static_cast<std::size_t>(length);
+    return DecodeStatus::Ok;
+}
+
+namespace {
+
+/** Read exactly `n` bytes; false on EOF or error. A clean EOF before
+ * the first byte sets `error` to "" so callers can tell "peer hung
+ * up" from "stream died mid-frame". */
+bool
+readExact(int fd, std::uint8_t *buf, std::size_t n, bool *cleanEof,
+          std::string *error)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (r == 0) {
+            if (cleanEof != nullptr)
+                *cleanEof = got == 0;
+            if (error != nullptr)
+                *error = got == 0 ? "" : "stream ended mid-frame";
+            return false;
+        }
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error != nullptr)
+                *error = std::string("read failed: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+readFrame(int fd, Value *out, std::string *error)
+{
+    std::uint8_t prefix[4];
+    if (!readExact(fd, prefix, 4, nullptr, error))
+        return false;
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(prefix[0]) |
+        (static_cast<std::uint32_t>(prefix[1]) << 8) |
+        (static_cast<std::uint32_t>(prefix[2]) << 16) |
+        (static_cast<std::uint32_t>(prefix[3]) << 24);
+    if (length > kMaxFrameBytes) {
+        if (error != nullptr)
+            *error = "frame length " + std::to_string(length) +
+                     " exceeds limit";
+        return false;
+    }
+    std::vector<std::uint8_t> payload(length);
+    if (length > 0 &&
+        !readExact(fd, payload.data(), payload.size(), nullptr, error))
+        return false;
+    const std::string_view text(
+        reinterpret_cast<const char *>(payload.data()),
+        payload.size());
+    std::string parseError;
+    if (!parseJson(text, out, &parseError)) {
+        if (error != nullptr)
+            *error = "bad frame payload: " + parseError;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const Value &value, std::string *error)
+{
+    const std::string frame = encodeFrame(value);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        // MSG_NOSIGNAL: a peer that hung up mid-response must surface
+        // as EPIPE, not kill the server. Plain files (tests) fall
+        // back to write().
+        ssize_t w = ::send(fd, frame.data() + sent,
+                           frame.size() - sent, MSG_NOSIGNAL);
+        if (w < 0 && errno == ENOTSOCK)
+            w = ::write(fd, frame.data() + sent, frame.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error != nullptr)
+                *error = std::string("write failed: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // namespace fits::serve::wire

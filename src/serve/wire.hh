@@ -1,0 +1,153 @@
+#ifndef FITS_SERVE_WIRE_HH_
+#define FITS_SERVE_WIRE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fits::serve::wire {
+
+/**
+ * The `fits serve` wire protocol: length-prefixed JSON frames over a
+ * unix-domain socket. No third-party dependencies — this header is the
+ * whole codec.
+ *
+ * Frame layout (little-endian):
+ *
+ *     [u32 payload-length][payload-length bytes of UTF-8 JSON]
+ *
+ * A frame is rejected (never partially consumed) when its declared
+ * length exceeds `kMaxFrameBytes`, when the stream ends mid-payload,
+ * or when the payload is not a single well-formed JSON value. The
+ * decoder is incremental: callers feed it whatever bytes they have
+ * and get back "need more", "one value + bytes consumed", or a
+ * terminal error.
+ *
+ * The JSON model is deliberately small: objects preserve insertion
+ * order (so re-encoding is deterministic and responses diff cleanly),
+ * numbers are doubles printed with round-trip precision (integral
+ * values print without an exponent or trailing ".0"), and strings are
+ * UTF-8 passed through verbatim with the mandatory escapes.
+ */
+
+/** Hard ceiling on one frame's JSON payload. Large enough for a whole
+ * corpus report, small enough that a corrupt length prefix cannot ask
+ * the reader to allocate gigabytes. */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+/** One JSON value. Plain value semantics; cheap to move. */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+
+    static Value null() { return Value(); }
+    static Value boolean(bool b);
+    static Value number(double n);
+    static Value integer(std::int64_t n);
+    static Value string(std::string s);
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; the fallback is returned on kind mismatch so
+     * protocol handlers can read optional fields in one line. */
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    std::int64_t asInt(std::int64_t fallback = 0) const;
+    const std::string &asString() const; ///< "" on mismatch
+
+    /** Array access. */
+    const std::vector<Value> &items() const;
+    void push(Value v);
+
+    /** Object access (insertion-ordered). */
+    const std::vector<Member> &members() const;
+    /** Member by key; nullptr when absent (or not an object). */
+    const Value *find(std::string_view key) const;
+    /** Set (replace or append) a member; makes this an object. */
+    void set(std::string key, Value v);
+
+    /** Convenience typed lookups over find(). */
+    std::string getString(std::string_view key,
+                          std::string_view fallback = "") const;
+    double getNumber(std::string_view key, double fallback = 0.0) const;
+    std::int64_t getInt(std::string_view key,
+                        std::int64_t fallback = 0) const;
+    bool getBool(std::string_view key, bool fallback = false) const;
+
+    /** Serialize to compact JSON text (no whitespace). */
+    std::string toJson() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<Member> members_;
+};
+
+/** Outcome of one decode attempt. */
+enum class DecodeStatus : std::uint8_t {
+    Ok,       ///< one value decoded; `consumed` bytes used
+    NeedMore, ///< the buffer holds a valid frame prefix; read more
+    Corrupt,  ///< unrecoverable: bad length, bad JSON, oversize frame
+};
+
+const char *decodeStatusName(DecodeStatus status);
+
+/** Parse one JSON value from `text` (the whole string must be one
+ * value plus optional trailing whitespace). Returns false and fills
+ * `error` on malformed input. */
+bool parseJson(std::string_view text, Value *out,
+               std::string *error = nullptr);
+
+/** Encode one frame: 4-byte little-endian payload length + JSON. */
+std::string encodeFrame(const Value &value);
+
+/**
+ * Try to decode one frame from the front of `data`. On Ok, `*out` is
+ * the decoded value and `*consumed` the total frame size (prefix +
+ * payload). On NeedMore nothing is consumed. On Corrupt the stream is
+ * unusable and must be closed; `error` (if given) says why.
+ */
+DecodeStatus decodeFrame(const std::uint8_t *data, std::size_t size,
+                         Value *out, std::size_t *consumed,
+                         std::string *error = nullptr);
+
+/**
+ * Blocking frame I/O over a file descriptor (the server and client
+ * connection paths). Both return false on EOF, I/O error, or a
+ * corrupt frame, with the reason in `error`.
+ */
+bool readFrame(int fd, Value *out, std::string *error);
+bool writeFrame(int fd, const Value &value, std::string *error);
+
+} // namespace fits::serve::wire
+
+#endif // FITS_SERVE_WIRE_HH_

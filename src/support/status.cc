@@ -19,6 +19,7 @@ stageName(Stage stage)
       case Stage::Infer:      return "infer";
       case Stage::Taint:      return "taint";
       case Stage::Corpus:     return "corpus";
+      case Stage::Serve:      return "serve";
     }
     return "?";
 }

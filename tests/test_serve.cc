@@ -1,0 +1,719 @@
+/**
+ * @file
+ * Tests for the `fits serve` subsystem: the wire codec, the resident
+ * server's lifecycle (admission, backpressure, graceful drain), the
+ * one-shot-equivalence guarantee (a client sweep renders byte-identical
+ * tables), and the `serve.*` chaos fault sites.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/chaos.hh"
+#include "eval/report.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/wire.hh"
+#include "support/strings.hh"
+#include "synth/firmware_gen.hh"
+
+namespace fits {
+namespace {
+
+namespace wire = serve::wire;
+
+// ---------------------------------------------------------------------
+// Wire codec
+
+TEST(ServeWire, ScalarRoundTrip)
+{
+    wire::Value v = wire::Value::object();
+    v.set("null", wire::Value::null());
+    v.set("yes", wire::Value::boolean(true));
+    v.set("no", wire::Value::boolean(false));
+    v.set("int", wire::Value::integer(-42));
+    v.set("big", wire::Value::integer(1'234'567'890'123LL));
+    v.set("pi", wire::Value::number(3.25));
+    v.set("text", wire::Value::string("hello \"world\"\n\t\\x"));
+
+    const std::string json = v.toJson();
+    wire::Value back;
+    std::string error;
+    ASSERT_TRUE(wire::parseJson(json, &back, &error)) << error;
+    EXPECT_TRUE(back.find("null")->isNull());
+    EXPECT_TRUE(back.getBool("yes"));
+    EXPECT_FALSE(back.getBool("no", true));
+    EXPECT_EQ(back.getInt("int"), -42);
+    EXPECT_EQ(back.getInt("big"), 1'234'567'890'123LL);
+    EXPECT_DOUBLE_EQ(back.getNumber("pi"), 3.25);
+    EXPECT_EQ(back.getString("text"), "hello \"world\"\n\t\\x");
+    // Insertion order is preserved, so re-encoding is deterministic.
+    EXPECT_EQ(back.toJson(), json);
+}
+
+TEST(ServeWire, NestedContainersRoundTrip)
+{
+    wire::Value arr = wire::Value::array();
+    for (int i = 0; i < 3; ++i) {
+        wire::Value entry = wire::Value::object();
+        entry.set("i", wire::Value::integer(i));
+        entry.set("hex", wire::Value::string(support::hex(
+                             static_cast<std::uint64_t>(i) * 16)));
+        arr.push(std::move(entry));
+    }
+    wire::Value v = wire::Value::object();
+    v.set("ranking", std::move(arr));
+
+    wire::Value back;
+    ASSERT_TRUE(wire::parseJson(v.toJson(), &back, nullptr));
+    ASSERT_TRUE(back.find("ranking") != nullptr);
+    ASSERT_EQ(back.find("ranking")->items().size(), 3u);
+    EXPECT_EQ(back.find("ranking")->items()[2].getInt("i"), 2);
+}
+
+TEST(ServeWire, UnicodeEscapeDecodes)
+{
+    wire::Value v;
+    ASSERT_TRUE(wire::parseJson("\"a\\u00e9\\u0041\"", &v, nullptr));
+    EXPECT_EQ(v.asString(), "a\xc3\xa9"
+                            "A");
+}
+
+TEST(ServeWire, RejectsMalformedJson)
+{
+    wire::Value v;
+    std::string error;
+    EXPECT_FALSE(wire::parseJson("{\"a\":}", &v, &error));
+    EXPECT_FALSE(wire::parseJson("{\"a\":1", &v, &error));
+    EXPECT_FALSE(wire::parseJson("[1,2,]", &v, &error));
+    EXPECT_FALSE(wire::parseJson("1 2", &v, &error));
+    EXPECT_FALSE(wire::parseJson("nul", &v, &error));
+    EXPECT_FALSE(wire::parseJson("", &v, &error));
+    // Depth bomb: deeper than the parser's limit must fail cleanly.
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_FALSE(wire::parseJson(deep, &v, &error));
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+}
+
+TEST(ServeWire, FrameRoundTrip)
+{
+    wire::Value v = wire::Value::object();
+    v.set("op", wire::Value::string("ping"));
+    const std::string frame = wire::encodeFrame(v);
+    ASSERT_GE(frame.size(), 4u);
+
+    wire::Value out;
+    std::size_t consumed = 0;
+    const auto status = wire::decodeFrame(
+        reinterpret_cast<const std::uint8_t *>(frame.data()),
+        frame.size(), &out, &consumed, nullptr);
+    EXPECT_EQ(status, wire::DecodeStatus::Ok);
+    EXPECT_EQ(consumed, frame.size());
+    EXPECT_EQ(out.getString("op"), "ping");
+}
+
+TEST(ServeWire, TruncatedFrameNeedsMore)
+{
+    wire::Value v = wire::Value::object();
+    v.set("op", wire::Value::string("ping"));
+    const std::string frame = wire::encodeFrame(v);
+
+    wire::Value out;
+    std::size_t consumed = 0;
+    // Every proper prefix is NeedMore — nothing consumed, no error.
+    for (std::size_t n = 0; n < frame.size(); ++n) {
+        EXPECT_EQ(wire::decodeFrame(
+                      reinterpret_cast<const std::uint8_t *>(
+                          frame.data()),
+                      n, &out, &consumed, nullptr),
+                  wire::DecodeStatus::NeedMore)
+            << "prefix length " << n;
+    }
+}
+
+TEST(ServeWire, CorruptFrameIsTerminal)
+{
+    // Payload that is not JSON.
+    std::string frame("\x03\x00\x00\x00???", 7);
+    wire::Value out;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(wire::decodeFrame(
+                  reinterpret_cast<const std::uint8_t *>(frame.data()),
+                  frame.size(), &out, &consumed, &error),
+              wire::DecodeStatus::Corrupt);
+    EXPECT_NE(error.find("bad frame payload"), std::string::npos);
+
+    // Length prefix beyond the hard cap: corrupt immediately, without
+    // waiting for (or allocating) the impossible payload.
+    std::string oversize("\xff\xff\xff\xff", 4);
+    error.clear();
+    EXPECT_EQ(wire::decodeFrame(reinterpret_cast<const std::uint8_t *>(
+                                    oversize.data()),
+                                oversize.size(), &out, &consumed,
+                                &error),
+              wire::DecodeStatus::Corrupt);
+    EXPECT_NE(error.find("exceeds limit"), std::string::npos);
+}
+
+TEST(ServeWire, FrameIoOverPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    wire::Value v = wire::Value::object();
+    v.set("n", wire::Value::integer(7));
+    std::string error;
+    ASSERT_TRUE(wire::writeFrame(fds[1], v, &error)) << error;
+    wire::Value out;
+    ASSERT_TRUE(wire::readFrame(fds[0], &out, &error)) << error;
+    EXPECT_EQ(out.getInt("n"), 7);
+
+    // Clean EOF (writer closed, nothing buffered) reads as failure
+    // with an empty error — "peer hung up", not a protocol fault.
+    ::close(fds[1]);
+    error = "sentinel";
+    EXPECT_FALSE(wire::readFrame(fds[0], &out, &error));
+    EXPECT_TRUE(error.empty());
+    ::close(fds[0]);
+}
+
+// ---------------------------------------------------------------------
+// Server fixtures
+
+/** Unique short socket path (sockaddr_un caps at ~107 bytes). */
+std::string
+testSocketPath(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    return support::format("/tmp/fits_serve_%d_%s_%d.sock",
+                           static_cast<int>(::getpid()), tag,
+                           counter.fetch_add(1));
+}
+
+/** Generate a small on-disk corpus and return its directory. */
+std::string
+makeTestCorpusDir(const char *tag, std::size_t samples)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        support::format("fits_serve_corpus_%d_%s",
+                        static_cast<int>(::getpid()), tag);
+    fs::create_directories(dir);
+    for (std::size_t i = 0; i < samples; ++i) {
+        synth::SampleSpec spec;
+        spec.profile = synth::netgearProfile();
+        spec.product = spec.profile.series.front();
+        spec.version = support::format("V1.0.%zu", i);
+        spec.name = spec.product + "-" + spec.version;
+        spec.seed = 100 + i;
+        const auto firmware = synth::generateFirmware(spec);
+        std::ofstream out(dir / support::format("s%zu.fwimg", i),
+                          std::ios::binary);
+        out.write(
+            reinterpret_cast<const char *>(firmware.bytes.data()),
+            static_cast<std::streamsize>(firmware.bytes.size()));
+    }
+    return dir.string();
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle + request handling
+
+TEST(ServeServer, PingOverSocket)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("ping");
+    config.jobs = 2;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    ASSERT_TRUE(client.submit(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+    EXPECT_EQ(response.getInt("jobs"), 2);
+    EXPECT_GT(response.getInt("id", 0), 0);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // The socket file is removed by the drain.
+    EXPECT_FALSE(std::filesystem::exists(config.socketPath));
+}
+
+TEST(ServeServer, BadRequestsGetTypedErrors)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("bad");
+    serve::Server server(config);
+
+    // handleRequest is the full service path minus the socket; the
+    // admission/framing layers are exercised by the socket tests.
+    wire::Value request = wire::Value::object();
+    wire::Value response = server.handleRequest(request);
+    EXPECT_EQ(response.getString("status"), "error");
+    EXPECT_NE(response.getString("error").find("missing \"op\""),
+              std::string::npos);
+
+    request.set("op", wire::Value::string("frobnicate"));
+    response = server.handleRequest(request);
+    EXPECT_EQ(response.getString("status"), "error");
+    EXPECT_NE(response.getString("error").find("unknown op"),
+              std::string::npos);
+
+    request.set("op", wire::Value::string("rank"));
+    request.set("path", wire::Value::string("/nonexistent.fwimg"));
+    response = server.handleRequest(request);
+    EXPECT_EQ(response.getString("status"), "error");
+    // The exact diagnostic the one-shot CLI prints.
+    EXPECT_EQ(response.getString("error"),
+              "cannot read /nonexistent.fwimg: no such file\n");
+}
+
+TEST(ServeServer, QueueWaitConsumesRequestBudget)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("budget");
+    config.requestTimeoutMs = 50.0;
+    serve::Server server(config);
+
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    // Within budget: runs normally.
+    EXPECT_EQ(server.handleRequest(request, 10.0).getString("status"),
+              "ok");
+    // Budget spent entirely in the queue: answered with a typed
+    // timeout error, without running.
+    const wire::Value response = server.handleRequest(request, 60.0);
+    EXPECT_EQ(response.getString("status"), "error");
+    EXPECT_NE(response.getString("error").find("budget"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// One-shot equivalence
+
+TEST(ServeEquivalence, CorpusMatchesOneShotByteForByte)
+{
+    chaos::reset();
+    const std::string dir = makeTestCorpusDir("equiv", 3);
+
+    // The one-shot path: the same renderer `fits corpus --dir` uses.
+    eval::CorpusOptions options;
+    options.dir = dir;
+    options.jobs = 2;
+    const eval::CorpusReport oneShot = eval::runCorpusReport(options);
+    ASSERT_TRUE(oneShot.ok) << oneShot.error;
+
+    // The served path, over a real socket.
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("equiv");
+    config.jobs = 2;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("corpus"));
+    request.set("dir", wire::Value::string(dir));
+    request.set("jobs", wire::Value::integer(2));
+    wire::Value response;
+    ASSERT_TRUE(client.submit(request, &response, &error)) << error;
+    ASSERT_EQ(response.getString("status"), "ok");
+
+    // Byte-identical tables (wall-clock and cache lines are data
+    // fields, never part of the deterministic text).
+    EXPECT_EQ(response.getString("output"),
+              oneShot.header + oneShot.text);
+    EXPECT_EQ(response.getString("diagnostics"), oneShot.diagnostics);
+    EXPECT_EQ(response.getInt("samples"),
+              static_cast<std::int64_t>(oneShot.samples));
+    EXPECT_EQ(response.getInt("failed"),
+              static_cast<std::int64_t>(oneShot.failed));
+    EXPECT_EQ(response.getInt("exit"), oneShot.exitCode());
+
+    server.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeEquivalence, ConcurrentClientsMatchSerialResults)
+{
+    chaos::reset();
+    const std::string dir = makeTestCorpusDir("conc", 1);
+    const std::string image = dir + "/s0.fwimg";
+    std::vector<std::uint8_t> bytes;
+    {
+        std::ifstream in(image, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const eval::TextReport serial =
+        eval::runRankReport(bytes, 10, false);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    // The ranking lines after the (timing-bearing) header line.
+    const auto rankingOf = [](const std::string &text) {
+        const auto pos = text.find("\n\n");
+        return pos == std::string::npos ? text : text.substr(pos + 2);
+    };
+
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("conc");
+    config.jobs = 4;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    constexpr int kClients = 6;
+    std::vector<std::string> outputs(kClients);
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            serve::Client client;
+            std::string err;
+            if (!client.connect(config.socketPath, &err)) {
+                errors[i] = err;
+                return;
+            }
+            wire::Value request = wire::Value::object();
+            request.set("op", wire::Value::string("rank"));
+            request.set("path", wire::Value::string(image));
+            wire::Value response;
+            if (!client.submit(request, &response, &err)) {
+                errors[i] = err;
+                return;
+            }
+            if (response.getString("status") != "ok") {
+                errors[i] = response.getString("error");
+                return;
+            }
+            outputs[i] = response.getString("output");
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(errors[i].empty()) << "client " << i << ": "
+                                       << errors[i];
+        EXPECT_EQ(rankingOf(outputs[i]), rankingOf(serial.text))
+            << "client " << i;
+    }
+    EXPECT_EQ(server.requestsServed(),
+              static_cast<std::size_t>(kClients));
+
+    server.stop();
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure + drain
+
+TEST(ServeServer, BackpressureRejectsAboveQueueLimit)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("bp");
+    config.jobs = 1;
+    config.queueLimit = 1;
+    config.retryAfterMs = 5.0;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Occupy the single worker (and the whole queue budget).
+    std::thread blocker([&] {
+        serve::Client client;
+        std::string err;
+        ASSERT_TRUE(client.connect(config.socketPath, &err)) << err;
+        wire::Value request = wire::Value::object();
+        request.set("op", wire::Value::string("sleep"));
+        request.set("ms", wire::Value::number(400.0));
+        wire::Value response;
+        ASSERT_TRUE(client.call(request, &response, &err)) << err;
+        EXPECT_EQ(response.getString("status"), "ok");
+    });
+    for (int i = 0; i < 400 && server.queueDepth() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(server.queueDepth(), 1u);
+
+    // A raw call (no retry handling) sees the rejection itself.
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "retry");
+    EXPECT_GT(response.getNumber("retry_after_ms"), 0.0);
+    EXPECT_GE(server.requestsRejected(), 1u);
+
+    // submit() keeps retrying per the server's hint and lands once
+    // the blocker finishes.
+    ASSERT_TRUE(client.submit(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+
+    blocker.join();
+    server.stop();
+}
+
+TEST(ServeServer, GracefulDrainFinishesInFlight)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("drain");
+    config.jobs = 1;
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    std::atomic<bool> responded{false};
+    std::string clientError;
+    wire::Value response;
+    std::thread inflight([&] {
+        serve::Client client;
+        std::string err;
+        if (!client.connect(config.socketPath, &err)) {
+            clientError = err;
+            return;
+        }
+        wire::Value request = wire::Value::object();
+        request.set("op", wire::Value::string("sleep"));
+        request.set("ms", wire::Value::number(300.0));
+        if (!client.call(request, &response, &err))
+            clientError = err;
+        responded.store(true);
+    });
+    for (int i = 0; i < 400 && server.queueDepth() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(server.queueDepth(), 1u);
+
+    // Drain must finish the admitted request — and deliver its
+    // response — before tearing anything down.
+    server.beginDrain();
+    EXPECT_TRUE(server.draining());
+    server.waitUntilDrained();
+    inflight.join();
+
+    EXPECT_TRUE(responded.load());
+    EXPECT_TRUE(clientError.empty()) << clientError;
+    EXPECT_EQ(response.getString("status"), "ok");
+    EXPECT_DOUBLE_EQ(response.getNumber("slept_ms"), 300.0);
+
+    // The drained server is gone: its socket no longer accepts.
+    serve::Client late;
+    EXPECT_FALSE(late.connect(config.socketPath, &error));
+}
+
+TEST(ServeServer, DrainingServerRejectsNewRequests)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("drainreq");
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Establish the connection with one served request (a bare
+    // connect() can still be sitting in the accept queue when the
+    // drain hits), then drain: the next request is answered with
+    // "draining", not silence.
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    ASSERT_EQ(response.getString("status"), "ok");
+
+    server.beginDrain();
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "draining");
+
+    server.waitUntilDrained();
+}
+
+TEST(ServeServer, ShutdownRequestDrains)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("shutdown");
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("shutdown"));
+    wire::Value response;
+    ASSERT_TRUE(client.submit(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+    EXPECT_TRUE(response.getBool("draining"));
+
+    server.waitUntilDrained();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(ServeServer, StartFailsCleanlyOnBadSocketPath)
+{
+    serve::ServerConfig config;
+    config.socketPath = "/nonexistent-dir/deeper/fits.sock";
+    serve::Server server(config);
+    std::string error;
+    EXPECT_FALSE(server.start(&error));
+    EXPECT_NE(error.find("bind"), std::string::npos);
+
+    config.socketPath = std::string(200, 'x');
+    serve::Server longPath(config);
+    EXPECT_FALSE(longPath.start(&error));
+    EXPECT_NE(error.find("bad socket path"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Chaos fault sites
+
+TEST(ServeChaos, ReadFaultDegradesToPerRequestError)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("chaosread");
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    ASSERT_TRUE(chaos::configure("serve.read#1"));
+
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "error");
+    EXPECT_NE(response.getString("error").find("injected"),
+              std::string::npos);
+    EXPECT_EQ(chaos::fireCount("serve.read"), 1u);
+
+    // The connection — and the server — survive; the next request on
+    // the same connection succeeds.
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+
+    chaos::reset();
+    server.stop();
+}
+
+TEST(ServeChaos, AcceptFaultDropsConnectionNotServer)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("chaosaccept");
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ASSERT_TRUE(chaos::configure("serve.accept#1"));
+
+    // First connection is dropped before its first request: the
+    // client sees a clean transport error, never a hang.
+    serve::Client dropped;
+    ASSERT_TRUE(dropped.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    EXPECT_FALSE(dropped.call(request, &response, &error));
+    EXPECT_FALSE(error.empty());
+
+    // The server keeps accepting: a reconnect works.
+    serve::Client retry;
+    ASSERT_TRUE(retry.connect(config.socketPath, &error)) << error;
+    ASSERT_TRUE(retry.call(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+    EXPECT_EQ(chaos::fireCount("serve.accept"), 1u);
+
+    chaos::reset();
+    server.stop();
+}
+
+TEST(ServeChaos, WriteFaultDropsResponseNotServer)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("chaoswrite");
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ASSERT_TRUE(chaos::configure("serve.write#1"));
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    // The request executes but its response is lost with the
+    // connection; the client sees a transport error.
+    EXPECT_FALSE(client.call(request, &response, &error));
+    EXPECT_EQ(chaos::fireCount("serve.write"), 1u);
+
+    serve::Client retry;
+    ASSERT_TRUE(retry.connect(config.socketPath, &error)) << error;
+    ASSERT_TRUE(retry.call(request, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+
+    chaos::reset();
+    server.stop();
+}
+
+TEST(ServeServer, CorruptFrameClosesOnlyThatConnection)
+{
+    serve::ServerConfig config;
+    config.socketPath = testSocketPath("corrupt");
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Hand-speak the protocol badly over a raw socket: a frame whose
+    // payload is not JSON. The server drops that connection (the
+    // stream cannot be resynchronized) but keeps serving others.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, config.socketPath.c_str(),
+                config.socketPath.size() + 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char garbage[] = "\x03\x00\x00\x00???";
+    ASSERT_EQ(::write(fd, garbage, 7), 7);
+    char byte;
+    // The server answers a corrupt frame with EOF, not a response.
+    EXPECT_EQ(::read(fd, &byte, 1), 0);
+    ::close(fd);
+
+    serve::Client good;
+    ASSERT_TRUE(good.connect(config.socketPath, &error)) << error;
+    wire::Value probe = wire::Value::object();
+    probe.set("op", wire::Value::string("ping"));
+    wire::Value response;
+    ASSERT_TRUE(good.call(probe, &response, &error)) << error;
+    EXPECT_EQ(response.getString("status"), "ok");
+
+    server.stop();
+}
+
+} // namespace
+} // namespace fits

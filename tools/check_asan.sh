@@ -6,12 +6,10 @@
 # Usage: tools/check_asan.sh [build-dir]   (default: build-asan)
 set -e
 
-ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BUILD=${1:-"$ROOT/build-asan"}
+. "$(dirname "$0")/lib.sh"
+BUILD=${1:-"$FITS_ROOT/build-asan"}
 
-cmake -B "$BUILD" -S "$ROOT" -DFITS_SANITIZE=address \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
+fits_sanitized_tests "$BUILD" address
 
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" FITS_JOBS=4 \
     "$BUILD/tests/fits_tests"

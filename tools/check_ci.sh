@@ -1,0 +1,88 @@
+#!/bin/sh
+# Structural validation of the GitHub Actions workflows — an
+# actionlint-equivalent that runs offline with only python3 + PyYAML
+# (both part of the standard toolchain image): every workflow must
+# parse as YAML and carry the fields Actions requires (name/on/jobs;
+# per job runs-on + steps; per step run or uses). Wired into ctest so
+# a malformed workflow fails the same gate it configures.
+#
+# Usage: tools/check_ci.sh [workflow-dir]
+set -e
+
+. "$(dirname "$0")/lib.sh"
+WORKFLOWS=${1:-"$FITS_ROOT/.github/workflows"}
+
+if ! command -v python3 > /dev/null 2>&1; then
+    echo "ci-lint: python3 not available; skipping"
+    exit 0
+fi
+
+python3 - "$WORKFLOWS" <<'EOF'
+import glob, os, sys
+
+try:
+    import yaml
+except ImportError:
+    print("ci-lint: PyYAML not available; skipping")
+    sys.exit(0)
+
+workflows = sorted(
+    glob.glob(os.path.join(sys.argv[1], "*.yml"))
+    + glob.glob(os.path.join(sys.argv[1], "*.yaml")))
+if not workflows:
+    print(f"ci-lint: no workflows under {sys.argv[1]}", file=sys.stderr)
+    sys.exit(1)
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{os.path.basename(path)}: {msg}")
+
+
+for path in workflows:
+    try:
+        doc = yaml.safe_load(open(path))
+    except yaml.YAMLError as e:
+        err(path, f"YAML parse error: {e}")
+        continue
+    if not isinstance(doc, dict):
+        err(path, "top level is not a mapping")
+        continue
+    if "name" not in doc:
+        err(path, "missing top-level 'name'")
+    # YAML 1.1 parses a bare `on:` key as boolean True.
+    if "on" not in doc and True not in doc:
+        err(path, "missing top-level 'on' trigger")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict) or not jobs:
+        err(path, "missing or empty 'jobs'")
+        continue
+    for job_id, job in jobs.items():
+        if not isinstance(job, dict):
+            err(path, f"job '{job_id}' is not a mapping")
+            continue
+        if "runs-on" not in job:
+            err(path, f"job '{job_id}' has no 'runs-on'")
+        steps = job.get("steps")
+        if not isinstance(steps, list) or not steps:
+            err(path, f"job '{job_id}' has no 'steps'")
+            continue
+        for i, step in enumerate(steps):
+            if not isinstance(step, dict):
+                err(path, f"job '{job_id}' step {i} is not a mapping")
+            elif "run" not in step and "uses" not in step:
+                err(path,
+                    f"job '{job_id}' step {i} has neither "
+                    f"'run' nor 'uses'")
+        strategy = job.get("strategy", {})
+        matrix = (strategy or {}).get("matrix", {})
+        if matrix and not isinstance(matrix, dict):
+            err(path, f"job '{job_id}' matrix is not a mapping")
+
+if errors:
+    for e in errors:
+        print(f"ci-lint: {e}", file=sys.stderr)
+    sys.exit(1)
+print(f"ci-lint: {len(workflows)} workflow(s) structurally valid")
+EOF

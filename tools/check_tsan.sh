@@ -6,12 +6,10 @@
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -e
 
-ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BUILD=${1:-"$ROOT/build-tsan"}
+. "$(dirname "$0")/lib.sh"
+BUILD=${1:-"$FITS_ROOT/build-tsan"}
 
-cmake -B "$BUILD" -S "$ROOT" -DFITS_SANITIZE=thread \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" --target fits_tests -j "$(nproc)"
+fits_sanitized_tests "$BUILD" thread
 
 # Exercise the parallel machinery specifically: the thread pool, the
 # corpus runner fan-out, the parallel BFV stage, the logger, and the
@@ -30,5 +28,12 @@ TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
 # concurrent workers in the parallel-ranking tests.
 TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
     --gtest_filter='CacheTest.*'
+
+# The `fits serve` daemon multiplexes connection reader threads, the
+# worker pool, admission accounting, and the drain sequence; the serve
+# suite's concurrent-client and drain tests are the proof they hold
+# under TSan.
+TSAN_OPTIONS="halt_on_error=1" FITS_JOBS=4 "$BUILD/tests/fits_tests" \
+    --gtest_filter='Serve*'
 
 echo "tsan: no data races detected"

@@ -25,10 +25,24 @@
  *       cache (results are identical either way — set FITS_CACHE_DIR
  *       to persist the cache across invocations). Exits non-zero when
  *       every sample fails.
+ *   fits serve --socket PATH [--jobs N] [--queue-limit N]
+ *              [--request-timeout-ms MS] [--metrics-out FILE]
+ *       Run the resident analysis service on a unix-domain socket:
+ *       N clients share one process-wide analysis cache, so repeated
+ *       or overlapping requests reuse lifted images and behavior
+ *       bundles. SIGTERM/SIGINT drain gracefully (stop accepting,
+ *       finish in-flight requests, flush metrics).
+ *   fits client --socket PATH <op> [args]
+ *       Submit one request to a running `fits serve` and print the
+ *       same tables the one-shot commands print (ops: ping, rank,
+ *       taint, corpus, metrics, shutdown). Retries automatically when
+ *       the server sheds load.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -43,12 +57,14 @@
 #include "chaos/chaos.hh"
 #include "core/anchors.hh"
 #include "core/pipeline.hh"
-#include "eval/corpus_runner.hh"
-#include "eval/tables.hh"
+#include "eval/report.hh"
 #include "firmware/fwimg.hh"
 #include "firmware/select.hh"
 #include "ir/printer.hh"
 #include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/wire.hh"
 #include "support/strings.hh"
 #include "synth/firmware_gen.hh"
 #include "taint/karonte.hh"
@@ -57,6 +73,7 @@
 namespace {
 
 using namespace fits;
+namespace wire = fits::serve::wire;
 
 int
 usage()
@@ -78,6 +95,16 @@ usage()
         "              (FITS_JOBS also sets N; FITS_CACHE_DIR "
         "persists the analysis cache;\n"
         "              exits 1 when every sample fails)\n"
+        "  fits serve --socket PATH [--jobs N] [--queue-limit N] "
+        "[--request-timeout-ms MS]\n"
+        "             [--metrics-out FILE]\n"
+        "              (resident analysis service; SIGTERM drains "
+        "gracefully)\n"
+        "  fits client --socket PATH "
+        "<ping|rank|taint|corpus|metrics|shutdown> [args]\n"
+        "              (submit one request to a running `fits serve`; "
+        "same args as the\n"
+        "              one-shot commands, same tables out)\n"
         "  fits faults   (list fault-injection sites; arm with "
         "FITS_FAULTS=<spec>[:<seed>])\n"
         "env: FITS_STAGE_TIMEOUT_MS bounds each cooperative pipeline "
@@ -275,17 +302,13 @@ int
 cmdRank(const std::string &path, int argc, char **argv)
 {
     std::size_t top = 10;
-    core::PipelineConfig config;
-    // Repeated ranks of the same image are served from the cache
-    // (persistently so under FITS_CACHE_DIR); the ranking is
-    // bit-identical either way.
-    config.behaviorCache = true;
+    bool useSymbols = false;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--top" && i + 1 < argc) {
             top = std::strtoul(argv[++i], nullptr, 0);
         } else if (arg == "--use-symbols") {
-            config.infer.useSymbolNames = true;
+            useSymbols = true;
         } else {
             return usage();
         }
@@ -294,26 +317,12 @@ cmdRank(const std::string &path, int argc, char **argv)
     std::vector<std::uint8_t> bytes;
     if (!readImageArg(path, bytes))
         return 1;
-    const core::FitsPipeline pipeline(config);
-    const auto result = pipeline.run(bytes);
-    if (!result.ok) {
-        std::fprintf(stderr, "pipeline failed: %s\n",
-                     result.error.c_str());
+    const auto report = eval::runRankReport(bytes, top, useSymbols);
+    if (!report.ok) {
+        std::fputs(report.error.c_str(), stderr);
         return 1;
     }
-    std::printf("analyzed %s: %zu functions in %.1f ms "
-                "(%zu candidates after clustering)\n\n",
-                result.binaryName.c_str(), result.numFunctions,
-                result.timings.totalMs(),
-                result.inference.numCandidates);
-    for (std::size_t i = 0;
-         i < top && i < result.inference.ranking.size(); ++i) {
-        const auto &rf = result.inference.ranking[i];
-        std::printf("#%-3zu %-12s score %.4f%s%s\n", i + 1,
-                    support::hex(rf.entry).c_str(), rf.score,
-                    rf.name.empty() ? "" : "  ",
-                    rf.name.c_str());
-    }
+    std::fputs(report.text.c_str(), stdout);
     return 0;
 }
 
@@ -339,48 +348,12 @@ cmdTaint(const std::string &path, int argc, char **argv)
     std::vector<std::uint8_t> bytes;
     if (!readImageArg(path, bytes))
         return 1;
-    auto unpacked = fw::unpackFirmware(bytes);
-    if (!unpacked) {
-        std::fprintf(stderr, "unpack failed: %s\n",
-                     unpacked.errorMessage().c_str());
+    const auto report = eval::runTaintReport(bytes, engine, itsAddrs);
+    if (!report.ok) {
+        std::fputs(report.error.c_str(), stderr);
         return 1;
     }
-    auto target = fw::selectAnalysisTarget(unpacked.value().filesystem);
-    if (!target) {
-        std::fprintf(stderr, "selection failed: %s\n",
-                     target.errorMessage().c_str());
-        return 1;
-    }
-    const analysis::LinkedProgram linked(*target.value().main,
-                                         target.value().libraries);
-    const auto pa = analysis::ProgramAnalysis::analyze(linked);
-
-    auto sources = taint::classicalTaintSources();
-    for (ir::Addr addr : itsAddrs)
-        sources.push_back(
-            taint::TaintSource::its(addr, support::hex(addr)));
-
-    taint::TaintReport report;
-    if (engine == "sta") {
-        report = taint::StaEngine().run(pa, sources);
-    } else {
-        report = taint::KaronteEngine().run(pa, sources);
-    }
-    const auto alerts =
-        itsAddrs.empty() ? report.alerts : report.filteredAlerts();
-
-    std::printf("%s: %zu alerts in %.1f ms (%zu sources, %zu of "
-                "them ITSs%s)\n\n",
-                engine.c_str(), alerts.size(), report.analysisMs,
-                sources.size(), itsAddrs.size(),
-                itsAddrs.empty() ? "" : "; system-data filtered");
-    for (const auto &alert : alerts) {
-        std::printf("  %-8s at %-10s in fn %-10s [%s]\n",
-                    alert.sinkName.c_str(),
-                    support::hex(alert.sinkSite).c_str(),
-                    support::hex(alert.inFunction).c_str(),
-                    taint::vulnClassName(alert.vclass));
-    }
+    std::fputs(report.text.c_str(), stdout);
     return 0;
 }
 
@@ -504,79 +477,21 @@ cmdDisasm(const std::string &path, const std::string &addrText)
     return 0;
 }
 
-/** Load every *.fwimg under `dir` (sorted by path) as a corpus
- * sample. Files are analyzed as-is: the spec carries only the file
- * name for identity and the ground truth stays empty. Sets *dirOk to
- * false (with a message on stderr) when `dir` is missing, not a
- * directory, or unlistable. */
-std::vector<synth::GeneratedFirmware>
-loadCorpusDir(const std::string &dir, bool *dirOk)
-{
-    namespace fs = std::filesystem;
-    *dirOk = true;
-
-    std::error_code ec;
-    const fs::file_status st = fs::status(dir, ec);
-    if (ec || st.type() == fs::file_type::not_found) {
-        std::fprintf(stderr, "bad --dir %s: no such directory\n",
-                     dir.c_str());
-        *dirOk = false;
-        return {};
-    }
-    if (st.type() != fs::file_type::directory) {
-        std::fprintf(stderr, "bad --dir %s: not a directory\n",
-                     dir.c_str());
-        *dirOk = false;
-        return {};
-    }
-
-    std::vector<fs::path> paths;
-    for (const auto &entry : fs::directory_iterator(dir, ec)) {
-        if (entry.is_regular_file() &&
-            entry.path().extension() == ".fwimg")
-            paths.push_back(entry.path());
-    }
-    if (ec) {
-        std::fprintf(stderr, "bad --dir %s: %s\n", dir.c_str(),
-                     ec.message().c_str());
-        *dirOk = false;
-        return {};
-    }
-    std::sort(paths.begin(), paths.end());
-
-    std::vector<synth::GeneratedFirmware> corpus;
-    corpus.reserve(paths.size());
-    for (const auto &path : paths) {
-        synth::GeneratedFirmware fw;
-        fw.spec.name = path.filename().string();
-        if (!readFile(path.string(), fw.bytes)) {
-            std::fprintf(stderr, "cannot read %s, skipping\n",
-                         path.string().c_str());
-            continue;
-        }
-        corpus.push_back(std::move(fw));
-    }
-    return corpus;
-}
-
 int
 cmdCorpus(int argc, char **argv)
 {
-    std::size_t jobs = 0;
-    bool withTaint = false;
-    bool useCache = true;
-    std::string corpusDir;
+    eval::CorpusOptions options;
     std::string metricsOut;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" && i + 1 < argc) {
-            jobs = std::strtoul(argv[++i], nullptr, 0);
+            options.jobs = std::strtoul(argv[++i], nullptr, 0);
         } else if (arg == "--taint") {
-            withTaint = true;
+            options.taint = true;
         } else if (arg == "--no-cache") {
-            useCache = false;
+            options.cache = false;
         } else if (arg == "--dir" && i + 1 < argc) {
-            corpusDir = argv[++i];
+            options.dir = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
             metricsOut = argv[++i];
         } else {
@@ -586,7 +501,7 @@ cmdCorpus(int argc, char **argv)
 
     if (!metricsOut.empty())
         obs::setEnabled(true);
-    if (!useCache) {
+    if (!options.cache) {
         // Turn off every tier, including the in-process one the
         // pipeline uses for per-image analyses.
         cache::Options off;
@@ -596,173 +511,23 @@ cmdCorpus(int argc, char **argv)
     }
     cache::resetStats();
 
-    eval::CorpusRunner::Config config;
-    config.jobs = jobs;
-    config.cache = useCache;
-    const eval::CorpusRunner runner(config);
-    bool dirOk = true;
-    const auto corpus = corpusDir.empty()
-                            ? synth::generateStandardCorpus()
-                            : loadCorpusDir(corpusDir, &dirOk);
-    if (!dirOk)
-        return 1;
-    if (corpus.empty()) {
-        std::fprintf(stderr, "no corpus samples%s%s\n",
-                     corpusDir.empty() ? "" : " under ",
-                     corpusDir.c_str());
+    // Print the header eagerly (before the long evaluation) so the
+    // one-shot tool still shows progress.
+    options.onHeader = [](const std::string &header) {
+        std::fputs(header.c_str(), stdout);
+        std::fflush(stdout);
+    };
+    const eval::CorpusReport report = eval::runCorpusReport(options);
+    if (!report.ok) {
+        std::fputs(report.error.c_str(), stderr);
         return 1;
     }
-    std::printf("evaluating %zu samples with %zu worker threads...\n\n",
-                corpus.size(), runner.jobs());
-
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<eval::CorpusRunner::FullOutcome> outcomes;
-    if (withTaint) {
-        outcomes = runner.runFull(corpus);
-    } else {
-        auto inference = runner.runInference(corpus);
-        outcomes.resize(inference.size());
-        for (std::size_t i = 0; i < inference.size(); ++i)
-            outcomes[i].inference = std::move(inference[i]);
-    }
-    const double wallMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-
-    // Per-vendor inference precision.
-    const std::vector<std::string> vendorOrder = {
-        "NETGEAR", "D-Link", "TP-Link", "Tenda", "Cisco"};
-    eval::TablePrinter table(
-        {"Vendor", "#FW", "Top-1", "Top-2", "Top-3"});
-    eval::PrecisionStats overall;
-    for (const auto &vendor : vendorOrder) {
-        eval::PrecisionStats stats;
-        for (std::size_t i = 0; i < corpus.size(); ++i) {
-            if (corpus[i].spec.profile.vendor != vendor)
-                continue;
-            const auto &outcome = outcomes[i].inference;
-            stats.addRank(outcome.ok ? outcome.firstItsRank : -1);
-        }
-        overall.total += stats.total;
-        overall.top1 += stats.top1;
-        overall.top2 += stats.top2;
-        overall.top3 += stats.top3;
-        table.addRow({vendor, std::to_string(stats.total),
-                      eval::percent(stats.p1()),
-                      eval::percent(stats.p2()),
-                      eval::percent(stats.p3())});
-    }
-    table.addSeparator();
-    table.addRow({"Overall", std::to_string(overall.total),
-                  eval::percent(overall.p1()),
-                  eval::percent(overall.p2()),
-                  eval::percent(overall.p3())});
-    table.print();
-
-    if (withTaint) {
-        eval::EngineStats karonte, karonteIts, sta, staIts;
-        int analyzed = 0;
-        for (const auto &outcome : outcomes) {
-            if (!outcome.taint.ok)
-                continue;
-            ++analyzed;
-            karonte += outcome.taint.karonte;
-            karonteIts += outcome.taint.karonteIts;
-            sta += outcome.taint.sta;
-            staIts += outcome.taint.staIts;
-        }
-        std::printf("\ntaint engines (%d analyzable samples, one "
-                    "shared analysis per sample):\n",
-                    analyzed);
-        eval::TablePrinter engines(
-            {"", "Karonte", "Karonte-ITS", "STA", "STA-ITS"});
-        engines.addRow({"Alerts", std::to_string(karonte.alerts),
-                        std::to_string(karonteIts.alerts),
-                        std::to_string(sta.alerts),
-                        std::to_string(staIts.alerts)});
-        engines.addRow({"Bugs", std::to_string(karonte.bugs),
-                        std::to_string(karonteIts.bugs),
-                        std::to_string(sta.bugs),
-                        std::to_string(staIts.bugs)});
-        engines.addRow(
-            {"FP rate", eval::percent(karonte.falsePositiveRate()),
-             eval::percent(karonteIts.falsePositiveRate()),
-             eval::percent(sta.falsePositiveRate()),
-             eval::percent(staIts.falsePositiveRate())});
-        engines.print();
-    }
-
-    // Failure accounting: every sample whose pipeline (or taint
-    // batch) errored, identified by its spec. All-samples-failed is a
-    // hard error — the run produced no usable numbers. Degraded
-    // samples (partial results: a missing library, an expired stage
-    // budget) are listed separately and are not failures.
-    std::size_t failed = 0;
-    std::size_t degraded = 0;
-    std::size_t retried = 0;
-    for (const auto &outcome : outcomes) {
-        const std::string &name = outcome.inference.spec.name.empty()
-                                      ? outcome.taint.spec.name
-                                      : outcome.inference.spec.name;
-        if (outcome.inference.retried || outcome.taint.retried)
-            ++retried;
-        if (outcome.inference.degraded ||
-            (withTaint && outcome.taint.degraded)) {
-            ++degraded;
-            const auto &issues = outcome.inference.degraded
-                                     ? outcome.inference.issues
-                                     : outcome.taint.issues;
-            std::string why;
-            for (const auto &issue : issues) {
-                if (!why.empty())
-                    why += "; ";
-                why += issue.toString();
-            }
-            std::fprintf(stderr, "sample degraded: %s: %s\n",
-                         name.empty() ? "<unnamed>" : name.c_str(),
-                         why.empty() ? "partial result" : why.c_str());
-        }
-        const bool bad = !outcome.inference.ok ||
-                         (withTaint && !outcome.taint.ok);
-        if (!bad)
-            continue;
-        ++failed;
-        const std::string &error = outcome.inference.error.empty()
-                                       ? outcome.taint.error
-                                       : outcome.inference.error;
-        std::fprintf(stderr, "sample failed: %s: %s\n",
-                     name.empty() ? "<unnamed>" : name.c_str(),
-                     error.empty() ? "unknown error" : error.c_str());
-    }
-    std::printf("\nfailed samples: %zu/%zu\n", failed,
-                outcomes.size());
-    if (degraded > 0 || retried > 0) {
-        std::printf("degraded samples: %zu/%zu (%zu retried)\n",
-                    degraded, outcomes.size(), retried);
-    }
-    std::printf("wall clock: %.1f ms with %zu jobs\n", wallMs,
-                runner.jobs());
-
-    // Cache effectiveness: a memory miss that the disk tier served
-    // still counts as a hit overall.
-    const cache::Stats cstats = cache::stats();
-    const cache::Options copts = cache::options();
-    const std::uint64_t hits = cstats.hits + cstats.diskHits;
-    const std::uint64_t misses =
-        copts.memory
-            ? cstats.misses - std::min(cstats.misses, cstats.diskHits)
-            : cstats.diskMisses;
-    const char *tier = copts.memory && copts.disk ? "mem+disk"
-                       : copts.disk               ? "disk"
-                       : copts.memory             ? "mem"
-                                                  : "off";
-    std::printf("cache: %llu hits / %llu misses, %.1f MiB, "
-                "tier=%s\n",
-                static_cast<unsigned long long>(hits),
-                static_cast<unsigned long long>(misses),
-                static_cast<double>(cstats.bytes) / (1024.0 * 1024.0),
-                tier);
+    std::fputs(report.diagnostics.c_str(), stderr);
+    std::fputs(report.text.c_str(), stdout);
+    std::fputs(
+        eval::renderWallClock(report.wallMs, report.jobs).c_str(),
+        stdout);
+    std::fputs(eval::renderCacheSummary().c_str(), stdout);
 
     if (!metricsOut.empty()) {
         if (obs::Registry::instance().exportToFile(metricsOut)) {
@@ -774,7 +539,174 @@ cmdCorpus(int argc, char **argv)
         }
     }
 
-    return failed == outcomes.size() ? 1 : 0;
+    return report.exitCode();
+}
+
+std::atomic<serve::Server *> g_server{nullptr};
+
+extern "C" void
+handleDrainSignal(int)
+{
+    serve::Server *server = g_server.load();
+    if (server != nullptr)
+        server->beginDrain(); // async-signal-safe: atomics + write()
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerConfig config;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            config.socketPath = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            config.jobs = std::strtoul(argv[++i], nullptr, 0);
+        } else if (arg == "--queue-limit" && i + 1 < argc) {
+            config.queueLimit = std::strtoul(argv[++i], nullptr, 0);
+        } else if (arg == "--request-timeout-ms" && i + 1 < argc) {
+            config.requestTimeoutMs =
+                std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            config.metricsOut = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (config.socketPath.empty())
+        return usage();
+    if (!config.metricsOut.empty())
+        obs::setEnabled(true);
+
+    serve::Server server(config);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+    g_server.store(&server);
+    std::signal(SIGTERM, handleDrainSignal);
+    std::signal(SIGINT, handleDrainSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("fits serve: listening on %s "
+                "(%zu workers, queue limit %zu)\n",
+                config.socketPath.c_str(), server.workerCount(),
+                config.queueLimit);
+    std::fflush(stdout);
+
+    server.waitUntilDrained();
+    g_server.store(nullptr);
+    std::printf("fits serve: drained (%zu requests served, "
+                "%zu rejected)\n",
+                server.requestsServed(), server.requestsRejected());
+    return 0;
+}
+
+/** Print one client response the way the matching one-shot command
+ * would (tables to stdout, diagnostics to stderr), and map its status
+ * to a process exit code. */
+int
+printClientResponse(const std::string &op, const wire::Value &resp)
+{
+    const std::string status = resp.getString("status", "");
+    if (status == "error" || status == "draining") {
+        std::fputs(resp.getString("error", "request failed\n").c_str(),
+                   stderr);
+        return 1;
+    }
+
+    if (op == "rank" || op == "taint") {
+        std::fputs(resp.getString("output", "").c_str(), stdout);
+        return 0;
+    }
+    if (op == "corpus") {
+        std::fputs(resp.getString("diagnostics", "").c_str(), stderr);
+        std::fputs(resp.getString("output", "").c_str(), stdout);
+        std::fputs(eval::renderWallClock(
+                       resp.getNumber("wall_ms", 0.0),
+                       static_cast<std::size_t>(
+                           resp.getInt("jobs", 0)))
+                       .c_str(),
+                   stdout);
+        std::fputs(resp.getString("cache", "").c_str(), stdout);
+        return static_cast<int>(resp.getInt("exit", 0));
+    }
+    // ping / infer / metrics / shutdown: machine-readable JSON.
+    std::printf("%s\n", resp.toJson().c_str());
+    return 0;
+}
+
+int
+cmdClient(int argc, char **argv)
+{
+    std::string socketPath;
+    int i = 0;
+    while (i < argc && argv[i][0] == '-') {
+        const std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            socketPath = argv[i + 1];
+            i += 2;
+        } else {
+            return usage();
+        }
+    }
+    if (socketPath.empty() || i >= argc)
+        return usage();
+    const std::string op = argv[i++];
+
+    wire::Value request = wire::Value::object();
+    request.set("op", wire::Value::string(op));
+    if (op == "rank" || op == "taint" || op == "infer") {
+        if (i >= argc)
+            return usage();
+        request.set("path", wire::Value::string(argv[i++]));
+    }
+    wire::Value itsArr = wire::Value::array();
+    bool hasIts = false;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            request.set("top",
+                        wire::Value::integer(std::strtoll(
+                            argv[++i], nullptr, 0)));
+        } else if (arg == "--use-symbols") {
+            request.set("use_symbols", wire::Value::boolean(true));
+        } else if (arg == "--engine" && i + 1 < argc) {
+            request.set("engine", wire::Value::string(argv[++i]));
+        } else if (arg == "--its" && i + 1 < argc) {
+            itsArr.push(wire::Value::integer(static_cast<std::int64_t>(
+                std::strtoull(argv[++i], nullptr, 0))));
+            hasIts = true;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            request.set("jobs",
+                        wire::Value::integer(std::strtoll(
+                            argv[++i], nullptr, 0)));
+        } else if (arg == "--taint") {
+            request.set("taint", wire::Value::boolean(true));
+        } else if (arg == "--no-cache") {
+            request.set("cache", wire::Value::boolean(false));
+        } else if (arg == "--dir" && i + 1 < argc) {
+            request.set("dir", wire::Value::string(argv[++i]));
+        } else {
+            return usage();
+        }
+    }
+    if (hasIts)
+        request.set("its", std::move(itsArr));
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(socketPath, &error)) {
+        std::fprintf(stderr, "client: %s\n", error.c_str());
+        return 1;
+    }
+    wire::Value response;
+    if (!client.submit(request, &response, &error)) {
+        std::fprintf(stderr, "client: %s\n", error.c_str());
+        return 1;
+    }
+    return printClientResponse(op, response);
 }
 
 } // namespace
@@ -787,6 +719,10 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     if (command == "corpus")
         return cmdCorpus(argc - 2, argv + 2);
+    if (command == "serve")
+        return cmdServe(argc - 2, argv + 2);
+    if (command == "client")
+        return cmdClient(argc - 2, argv + 2);
     if (command == "faults")
         return cmdFaults();
     if (argc < 3)

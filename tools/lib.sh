@@ -1,0 +1,63 @@
+# Shared plumbing for the tools/check_*.sh scripts. POSIX sh.
+#
+# Source it from a sibling script:
+#
+#     . "$(dirname "$0")/lib.sh"
+#
+# Provides:
+#   FITS_ROOT                  absolute repo root
+#   fits_abspath PATH          absolutize PATH against the caller's cwd
+#   fits_jobs                  parallel job count (FITS_BUILD_JOBS
+#                              overrides; falls back to nproc, then 4)
+#   fits_configure BUILD ...   cmake configure with extra args
+#   fits_build BUILD TARGET... build targets with the shared job count
+#   fits_ctest BUILD ...       run ctest in BUILD with standard flags
+#   fits_sanitized_tests BUILD KIND
+#                              configure + build fits_tests under
+#                              FITS_SANITIZE=KIND (RelWithDebInfo)
+
+FITS_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+# Build-dir arguments may be relative; scripts that cd (or run tools
+# in subshells) must pin them to the invoking directory first.
+fits_abspath() {
+    case "$1" in
+    /*) printf '%s\n' "$1" ;;
+    *) printf '%s/%s\n' "$(pwd)" "$1" ;;
+    esac
+}
+
+fits_jobs() {
+    if [ -n "${FITS_BUILD_JOBS:-}" ]; then
+        echo "$FITS_BUILD_JOBS"
+    elif command -v nproc > /dev/null 2>&1; then
+        nproc
+    else
+        echo 4
+    fi
+}
+
+fits_configure() {
+    _fits_build_dir=$1
+    shift
+    cmake -B "$_fits_build_dir" -S "$FITS_ROOT" "$@"
+}
+
+fits_build() {
+    _fits_build_dir=$1
+    shift
+    cmake --build "$_fits_build_dir" --target "$@" -j "$(fits_jobs)"
+}
+
+fits_ctest() {
+    _fits_build_dir=$1
+    shift
+    ctest --test-dir "$_fits_build_dir" --output-on-failure \
+        -j "$(fits_jobs)" "$@"
+}
+
+fits_sanitized_tests() {
+    fits_configure "$1" -DFITS_SANITIZE="$2" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    fits_build "$1" fits_tests
+}
